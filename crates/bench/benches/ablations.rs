@@ -1,0 +1,51 @@
+//! Ablation + extension benchmarks (DESIGN.md §5 and the future-work
+//! experiments): history predictor, payback threshold, multi-swap cap,
+//! dynamism-axis interpretation, reclamation, DLB+SWAP hybrid, Pareto
+//! tails, diurnal traces.
+
+use bench::bench_scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{ablations, extensions};
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("ablation_history", |b| {
+        b.iter(|| std::hint::black_box(ablations::ablation_history(&scale)))
+    });
+    group.bench_function("ablation_payback", |b| {
+        b.iter(|| std::hint::black_box(ablations::ablation_payback(&scale)))
+    });
+    group.bench_function("ablation_multiswap", |b| {
+        b.iter(|| std::hint::black_box(ablations::ablation_multiswap(&scale)))
+    });
+    group.bench_function("ablation_dynamism", |b| {
+        b.iter(|| std::hint::black_box(ablations::ablation_dynamism(&scale)))
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    group.bench_function("ext_reclamation", |b| {
+        b.iter(|| std::hint::black_box(extensions::ext_reclamation(&scale)))
+    });
+    group.bench_function("ext_dlb_swap", |b| {
+        b.iter(|| std::hint::black_box(extensions::ext_dlb_swap(&scale)))
+    });
+    group.bench_function("ext_pareto", |b| {
+        b.iter(|| std::hint::black_box(extensions::ext_pareto(&scale)))
+    });
+    group.bench_function("ext_traces", |b| {
+        b.iter(|| std::hint::black_box(extensions::ext_traces(&scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! One benchmark group per paper figure: regenerating each figure's data
+//! at bench scale. Every table/figure of the evaluation section has its
+//! regeneration path timed here; the full-resolution data comes from the
+//! `swapsim` binary.
+
+use bench::bench_scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_payback", |b| {
+        b.iter(|| std::hint::black_box(figures::fig1_payback()))
+    });
+    group.bench_function("fig2_onoff_trace", |b| {
+        b.iter(|| std::hint::black_box(figures::fig2_onoff_trace(0)))
+    });
+    group.bench_function("fig3_hyperexp_trace", |b| {
+        b.iter(|| std::hint::black_box(figures::fig3_hyperexp_trace(0)))
+    });
+    group.bench_function("fig4_techniques_vs_dynamism", |b| {
+        b.iter(|| std::hint::black_box(figures::fig4_techniques_vs_dynamism(&scale)))
+    });
+    group.bench_function("fig5_overallocation", |b| {
+        b.iter(|| std::hint::black_box(figures::fig5_overallocation(&scale)))
+    });
+    group.bench_function("fig6_process_size", |b| {
+        b.iter(|| std::hint::black_box(figures::fig6_process_size(&scale)))
+    });
+    group.bench_function("fig7_policies", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7_policies(&scale)))
+    });
+    group.bench_function("fig8_policies_large_state", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8_policies_large_state(&scale)))
+    });
+    group.bench_function("fig9_hyperexp", |b| {
+        b.iter(|| std::hint::black_box(figures::fig9_hyperexp(&scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

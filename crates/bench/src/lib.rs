@@ -1,0 +1,35 @@
+//! # bench — Criterion benchmarks
+//!
+//! Three suites, run with `cargo bench`:
+//!
+//! * `figures` — one benchmark group per paper figure, at a reduced
+//!   sampling scale, so every reproduction path is exercised and timed;
+//! * `ablations` — the DESIGN.md ablation studies at the same scale;
+//! * `substrate` — microbenchmarks of the hot simulation primitives
+//!   (timeline integration/inversion, fluid link sharing, load-trace
+//!   generation, the decision engine, and a full strategy run).
+//!
+//! The figure benches measure the *cost of regenerating* a figure, not
+//! the simulated application times — those come from
+//! `cargo run -p experiments --bin swapsim`.
+
+use experiments::Scale;
+
+/// The scale used by all benches: one seed, two sweep points, four
+/// iterations — enough to execute every code path without inflating
+/// bench wall time.
+pub fn bench_scale() -> Scale {
+    Scale {
+        seeds: 1,
+        sweep_points: 2,
+        iterations: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_scale_is_valid() {
+        super::bench_scale().validate();
+    }
+}

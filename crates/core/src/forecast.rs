@@ -1,0 +1,361 @@
+//! NWS-style adaptive forecasting.
+//!
+//! The paper's measurement layer is the Network Weather Service (Wolski
+//! et al.), whose hallmark is *dynamic predictor selection*: run a bank
+//! of cheap forecasters over the measurement history, track each one's
+//! error, and answer with the forecaster that has been most accurate so
+//! far. This module reproduces that scheme as a pure function over a
+//! sample window, used by `Predictor::Nws`.
+
+use std::collections::VecDeque;
+
+/// One elementary forecaster in the bank.
+pub trait Forecaster {
+    /// Short identifier, e.g. `"sliding_median(5)"`.
+    fn name(&self) -> String;
+    /// Feeds the next observation.
+    fn update(&mut self, value: f64);
+    /// Forecast of the next value, if enough data has been seen.
+    fn forecast(&self) -> Option<f64>;
+}
+
+/// Predicts the most recent observation.
+#[derive(Clone, Debug, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> String {
+        "last_value".into()
+    }
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn forecast(&self) -> Option<f64> {
+        self.last
+    }
+}
+
+/// Predicts the mean of everything seen.
+#[derive(Clone, Debug, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: usize,
+}
+
+impl Forecaster for RunningMean {
+    fn name(&self) -> String {
+        "running_mean".into()
+    }
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn forecast(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+}
+
+/// Predicts the mean of the last `k` observations.
+#[derive(Clone, Debug)]
+pub struct SlidingMean {
+    k: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingMean {
+    /// A sliding mean over `k` observations.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        SlidingMean {
+            k,
+            buf: VecDeque::new(),
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn name(&self) -> String {
+        format!("sliding_mean({})", self.k)
+    }
+    fn update(&mut self, value: f64) {
+        self.buf.push_back(value);
+        if self.buf.len() > self.k {
+            self.buf.pop_front();
+        }
+    }
+    fn forecast(&self) -> Option<f64> {
+        (!self.buf.is_empty()).then(|| self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+    }
+}
+
+/// Predicts the median of the last `k` observations (robust to spikes).
+#[derive(Clone, Debug)]
+pub struct SlidingMedian {
+    k: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingMedian {
+    /// A sliding median over `k` observations.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        SlidingMedian {
+            k,
+            buf: VecDeque::new(),
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn name(&self) -> String {
+        format!("sliding_median({})", self.k)
+    }
+    fn update(&mut self, value: f64) {
+        self.buf.push_back(value);
+        if self.buf.len() > self.k {
+            self.buf.pop_front();
+        }
+    }
+    fn forecast(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        Some(if sorted.len() % 2 == 0 {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        })
+    }
+}
+
+/// Exponentially weighted moving average with smoothing `alpha`.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    acc: Option<f64>,
+}
+
+impl Ewma {
+    /// An EWMA forecaster with smoothing factor in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is out of range.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, acc: None }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> String {
+        format!("ewma({})", self.alpha)
+    }
+    fn update(&mut self, value: f64) {
+        self.acc = Some(match self.acc {
+            None => value,
+            Some(acc) => self.alpha * value + (1.0 - self.alpha) * acc,
+        });
+    }
+    fn forecast(&self) -> Option<f64> {
+        self.acc
+    }
+}
+
+/// The default NWS-style bank.
+pub fn default_bank() -> Vec<Box<dyn Forecaster>> {
+    vec![
+        Box::new(LastValue::default()),
+        Box::new(RunningMean::default()),
+        Box::new(SlidingMean::new(3)),
+        Box::new(SlidingMean::new(8)),
+        Box::new(SlidingMedian::new(5)),
+        Box::new(Ewma::new(0.3)),
+        Box::new(Ewma::new(0.7)),
+    ]
+}
+
+/// A forecaster bank with per-member error tracking and dynamic
+/// selection (the NWS scheme): [`NwsBank::forecast`] answers with the
+/// member whose cumulative absolute one-step error is lowest so far.
+pub struct NwsBank {
+    members: Vec<Box<dyn Forecaster>>,
+    errors: Vec<f64>,
+}
+
+impl Default for NwsBank {
+    fn default() -> Self {
+        NwsBank::new(default_bank())
+    }
+}
+
+impl NwsBank {
+    /// Builds a bank from the given members.
+    ///
+    /// # Panics
+    /// Panics on an empty bank.
+    pub fn new(members: Vec<Box<dyn Forecaster>>) -> Self {
+        assert!(!members.is_empty(), "bank needs at least one forecaster");
+        let n = members.len();
+        NwsBank {
+            members,
+            errors: vec![0.0; n],
+        }
+    }
+
+    /// Feeds the next observation: first scores every member's pending
+    /// forecast against it, then updates the members.
+    pub fn observe(&mut self, value: f64) {
+        for (m, err) in self.members.iter_mut().zip(&mut self.errors) {
+            if let Some(f) = m.forecast() {
+                *err += (f - value).abs();
+            }
+            m.update(value);
+        }
+    }
+
+    /// The current best member's index (lowest cumulative error; ties go
+    /// to the earlier member).
+    pub fn best(&self) -> usize {
+        self.errors
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("bank is non-empty")
+    }
+
+    /// Name of the currently selected forecaster.
+    pub fn best_name(&self) -> String {
+        self.members[self.best()].name()
+    }
+
+    /// Forecast of the next value from the best member.
+    pub fn forecast(&self) -> Option<f64> {
+        self.members[self.best()].forecast()
+    }
+
+    /// Cumulative absolute error per member, parallel to the bank.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+}
+
+/// One-shot NWS forecast over a sample window: replays the samples
+/// through a fresh default bank and returns the best member's forecast.
+/// Returns `None` on an empty window.
+pub fn nws_forecast(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut bank = NwsBank::default();
+    for &s in samples {
+        bank.observe(s);
+    }
+    bank.forecast()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_is_predicted_exactly() {
+        let f = nws_forecast(&[5.0; 10]).unwrap();
+        assert_eq!(f, 5.0);
+    }
+
+    #[test]
+    fn last_value_wins_on_a_steady_trend() {
+        // On a monotone ramp, last-value has the smallest one-step error
+        // of the bank members.
+        let samples: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut bank = NwsBank::default();
+        for &s in &samples {
+            bank.observe(s);
+        }
+        assert_eq!(bank.best_name(), "last_value");
+        assert_eq!(bank.forecast(), Some(29.0));
+    }
+
+    #[test]
+    fn median_like_members_win_on_spiky_noise() {
+        // A constant signal with rare huge spikes: last-value is badly
+        // punished after each spike; a robust member must be selected and
+        // the forecast should sit near the base level.
+        let mut samples = vec![10.0; 40];
+        for i in (7..40).step_by(8) {
+            samples[i] = 1000.0;
+        }
+        // End on base level so the winner's forecast is testable.
+        let f = nws_forecast(&samples).unwrap();
+        assert!(
+            (f - 10.0).abs() < 5.0,
+            "forecast {f} should hug the base level"
+        );
+    }
+
+    #[test]
+    fn bank_never_loses_to_its_worst_member() {
+        // By construction, the selected member's error is minimal.
+        let samples: Vec<f64> = (0..50)
+            .map(|i| 10.0 + ((i * 2654435761u64) % 7) as f64)
+            .collect();
+        let mut bank = NwsBank::default();
+        for &s in &samples {
+            bank.observe(s);
+        }
+        let best = bank.best();
+        for e in bank.errors() {
+            assert!(bank.errors()[best] <= *e + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_window_has_no_forecast() {
+        assert_eq!(nws_forecast(&[]), None);
+        assert!(NwsBank::default().forecast().is_none());
+    }
+
+    #[test]
+    fn sliding_members_honour_their_window() {
+        let mut m = SlidingMean::new(2);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.update(v);
+        }
+        assert_eq!(m.forecast(), Some(3.5));
+        let mut md = SlidingMedian::new(3);
+        for v in [1.0, 100.0, 2.0, 3.0] {
+            md.update(v);
+        }
+        assert_eq!(md.forecast(), Some(3.0));
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_level() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..20 {
+            e.update(0.0);
+        }
+        for _ in 0..20 {
+            e.update(100.0);
+        }
+        assert!(e.forecast().unwrap() > 99.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_bank_rejected() {
+        NwsBank::new(vec![]);
+    }
+}

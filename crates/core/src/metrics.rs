@@ -1,0 +1,101 @@
+//! Performance-metric helpers shared by the decision engine, the
+//! simulator, and the live runtime.
+//!
+//! The payback algebra works with "any measure that increases with
+//! increased application performance, e.g., flop rate"; these helpers keep
+//! the conversions in one place.
+
+/// Fractional improvement of `new` over `old`: `(new − old) / old`.
+/// Negative when `new < old`.
+///
+/// # Panics
+/// Panics if `old` is not strictly positive.
+pub fn improvement(old: f64, new: f64) -> f64 {
+    assert!(old > 0.0, "baseline must be positive, got {old}");
+    (new - old) / old
+}
+
+/// Converts an iteration time to an iteration rate (iterations/second) —
+/// a performance measure in the payback sense.
+///
+/// # Panics
+/// Panics if `iter_time` is not strictly positive.
+pub fn iteration_rate(iter_time: f64) -> f64 {
+    assert!(iter_time > 0.0, "iteration time must be positive");
+    1.0 / iter_time
+}
+
+/// Predicted BSP iteration *compute* time of the application: the slowest
+/// active processor bounds the iteration (`work/perf` each, synchronized
+/// by the end-of-iteration communication).
+///
+/// `work_per_proc[i]` is the work assigned to active processor `i`;
+/// `perfs[i]` its (predicted) delivered speed in the same units/second.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or any perf is
+/// non-positive.
+pub fn bsp_iteration_time(work_per_proc: &[f64], perfs: &[f64]) -> f64 {
+    assert_eq!(work_per_proc.len(), perfs.len(), "length mismatch");
+    assert!(!perfs.is_empty(), "need at least one processor");
+    work_per_proc
+        .iter()
+        .zip(perfs)
+        .map(|(&w, &p)| {
+            assert!(p > 0.0, "performance must be positive");
+            assert!(w >= 0.0, "work must be non-negative");
+            w / p
+        })
+        .fold(0.0, f64::max)
+}
+
+/// For an equal-partition application, the whole-application performance is
+/// set by the *minimum* processor performance. Returns that minimum.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn bottleneck_perf(perfs: &[f64]) -> f64 {
+    assert!(!perfs.is_empty(), "need at least one processor");
+    perfs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_is_signed_fraction() {
+        assert_eq!(improvement(10.0, 15.0), 0.5);
+        assert_eq!(improvement(10.0, 5.0), -0.5);
+        assert_eq!(improvement(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn iteration_rate_inverts_time() {
+        assert_eq!(iteration_rate(4.0), 0.25);
+    }
+
+    #[test]
+    fn bsp_time_is_bounded_by_slowest() {
+        let t = bsp_iteration_time(&[100.0, 100.0, 100.0], &[10.0, 5.0, 20.0]);
+        assert_eq!(t, 20.0);
+    }
+
+    #[test]
+    fn bsp_time_respects_uneven_work() {
+        // DLB-style partition: work proportional to speed balances times.
+        let t = bsp_iteration_time(&[200.0, 100.0], &[20.0, 10.0]);
+        assert_eq!(t, 10.0);
+    }
+
+    #[test]
+    fn bottleneck_is_min() {
+        assert_eq!(bottleneck_perf(&[3.0, 1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn improvement_rejects_zero_baseline() {
+        improvement(0.0, 1.0);
+    }
+}

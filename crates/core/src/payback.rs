@@ -1,0 +1,216 @@
+//! The payback algebra (paper §5).
+//!
+//! "With process swapping, the application must be paused for process
+//! state transfers, and the cost of halting progress may outweigh the
+//! performance advantage." The payback distance converts that trade-off
+//! into a single, tunable number: how many iterations at the improved rate
+//! it takes to recoup the pause.
+
+use serde::{Deserialize, Serialize};
+use simkit::link::SharedLink;
+
+/// The cost model of one swap: transferring process state across the
+/// shared link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwapCost {
+    /// Link latency α, seconds.
+    pub alpha: f64,
+    /// Link bandwidth β, bytes/second.
+    pub beta: f64,
+}
+
+impl SwapCost {
+    /// Creates a cost model with link latency `alpha` (s) and bandwidth
+    /// `beta` (bytes/s).
+    ///
+    /// # Panics
+    /// Panics if `alpha < 0` or `beta <= 0`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be >= 0");
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be > 0");
+        SwapCost { alpha, beta }
+    }
+
+    /// Derives the cost model from a link description.
+    pub fn from_link(link: SharedLink) -> Self {
+        SwapCost::new(link.latency, link.bandwidth)
+    }
+
+    /// `swap time = α + (process size)/β` (paper §5).
+    pub fn swap_time(&self, process_size_bytes: f64) -> f64 {
+        assert!(process_size_bytes >= 0.0);
+        self.alpha + process_size_bytes / self.beta
+    }
+}
+
+/// Payback distance (paper §5): the number of iterations, at the increased
+/// post-swap rate, required to offset the swap cost.
+///
+/// ```text
+///                         swap_time / old_iteration_time
+/// payback_distance  =  ------------------------------------
+///                       1  −  old_performance/new_performance
+/// ```
+///
+/// * Returns a **negative** value when `new_perf <= old_perf` — "if the
+///   payback distance is negative, there is no benefit" (a swap to a
+///   slower or equal processor never pays back; equality yields −∞).
+/// * Larger speedups give *smaller* distances, nonlinearly: doubling
+///   performance with `swap_time == old_iter_time` pays back in 2
+///   iterations; quadrupling pays back in 1⅓ (the worked examples from the
+///   paper, used as tests below).
+///
+/// `old_perf` and `new_perf` may be in any consistent rate unit ("any
+/// measure that increases with increased application performance, e.g.,
+/// flop rate").
+///
+/// ```
+/// use swap_core::payback::{payback_distance, SwapCost};
+///
+/// // The paper's worked example: iteration and swap both take 10 s.
+/// assert_eq!(payback_distance(10.0, 10.0, 1.0, 2.0), 2.0);          // 2x speedup
+/// assert!((payback_distance(10.0, 10.0, 1.0, 4.0) - 4.0/3.0).abs() < 1e-12);
+///
+/// // A 100 MB process on the paper's 6 MB/s LAN:
+/// let cost = SwapCost::new(1e-4, 6e6);
+/// let d = payback_distance(cost.swap_time(1e8), 60.0, 1.0, 1.5);
+/// assert!(d > 0.0 && d < 1.0, "pays back within one iteration: {d}");
+/// ```
+///
+/// # Panics
+/// Panics if `swap_time` is negative, `old_iter_time` is non-positive, or
+/// either performance is non-positive.
+pub fn payback_distance(swap_time: f64, old_iter_time: f64, old_perf: f64, new_perf: f64) -> f64 {
+    assert!(swap_time >= 0.0, "swap_time must be >= 0");
+    assert!(old_iter_time > 0.0, "old_iter_time must be > 0");
+    assert!(
+        old_perf > 0.0 && new_perf > 0.0,
+        "performances must be > 0 (old={old_perf}, new={new_perf})"
+    );
+    let gain = 1.0 - old_perf / new_perf; // in (−∞, 1)
+    if gain == 0.0 {
+        return f64::NEG_INFINITY; // no improvement: sentinel "no benefit"
+    }
+    (swap_time / old_iter_time) / gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_worked_example_two_x() {
+        // "Say that the iteration time and swap time are both 10 seconds.
+        //  If the new performance, after swapping, is twice the old
+        //  performance then the payback distance is 2 iterations."
+        let d = payback_distance(10.0, 10.0, 1.0, 2.0);
+        assert!((d - 2.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn paper_worked_example_four_x() {
+        // "If the new performance is four times the old performance, the
+        //  payback distance is 1 1/3 iterations."
+        let d = payback_distance(10.0, 10.0, 1.0, 4.0);
+        assert!((d - 4.0 / 3.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn slower_target_yields_negative_distance() {
+        let d = payback_distance(10.0, 10.0, 2.0, 1.0);
+        assert!(d < 0.0, "no benefit must be negative, got {d}");
+    }
+
+    #[test]
+    fn equal_performance_is_no_benefit() {
+        assert_eq!(payback_distance(10.0, 10.0, 1.0, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn free_swap_pays_back_immediately() {
+        let d = payback_distance(0.0, 10.0, 1.0, 2.0);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn swap_cost_formula() {
+        let c = SwapCost::new(0.5, 1e6);
+        assert_eq!(c.swap_time(0.0), 0.5);
+        assert_eq!(c.swap_time(2e6), 2.5);
+    }
+
+    #[test]
+    fn swap_cost_from_paper_link() {
+        // 1 GB state over the 6 MB/s LAN ≈ 166.7 s — the Figure 8 regime
+        // where "the process swap time is twice that of the application
+        // iteration time".
+        let c = SwapCost::from_link(SharedLink::hpdc03_lan());
+        let t = c.swap_time(1e9);
+        assert!((t - 166.667).abs() < 0.1, "got {t}");
+    }
+
+    proptest! {
+        /// Payback decreases as the speedup grows (more benefit, shorter
+        /// amortization), for any positive cost.
+        #[test]
+        fn prop_monotone_in_speedup(
+            swap in 0.1f64..100.0,
+            iter in 0.1f64..100.0,
+            old in 0.1f64..10.0,
+            s1 in 1.01f64..10.0,
+            s2 in 1.01f64..10.0,
+        ) {
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            prop_assume!(hi > lo * 1.0001);
+            let d_lo = payback_distance(swap, iter, old, old * lo);
+            let d_hi = payback_distance(swap, iter, old, old * hi);
+            prop_assert!(d_hi < d_lo, "speedup {lo}→{d_lo}, {hi}→{d_hi}");
+        }
+
+        /// Payback scales linearly with swap time.
+        #[test]
+        fn prop_linear_in_swap_time(
+            swap in 0.1f64..100.0,
+            iter in 0.1f64..100.0,
+            speedup in 1.1f64..10.0,
+            k in 0.1f64..10.0,
+        ) {
+            let d1 = payback_distance(swap, iter, 1.0, speedup);
+            let dk = payback_distance(swap * k, iter, 1.0, speedup);
+            prop_assert!((dk - d1 * k).abs() < 1e-6 * d1.abs().max(1.0));
+        }
+
+        /// Only the performance *ratio* matters, not the absolute unit.
+        #[test]
+        fn prop_unit_invariant(
+            swap in 0.1f64..100.0,
+            iter in 0.1f64..100.0,
+            old in 0.1f64..10.0,
+            speedup in 1.1f64..10.0,
+            unit in 0.001f64..1000.0,
+        ) {
+            let a = payback_distance(swap, iter, old, old * speedup);
+            let b = payback_distance(swap, iter, old * unit, old * speedup * unit);
+            prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        }
+
+        /// Beneficial swaps always have positive distance; harmful ones
+        /// negative.
+        #[test]
+        fn prop_sign_tracks_benefit(
+            swap in 0.01f64..100.0,
+            iter in 0.1f64..100.0,
+            old in 0.1f64..10.0,
+            ratio in 0.1f64..10.0,
+        ) {
+            prop_assume!((ratio - 1.0).abs() > 1e-6);
+            let d = payback_distance(swap, iter, old, old * ratio);
+            if ratio > 1.0 {
+                prop_assert!(d >= 0.0);
+            } else {
+                prop_assert!(d < 0.0);
+            }
+        }
+    }
+}

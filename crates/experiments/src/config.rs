@@ -1,0 +1,113 @@
+//! Experiment scale knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// How big an experiment to run. The figure generators keep all model
+/// parameters at paper scale and vary only the sampling effort: number of
+/// replications (seeds), sweep resolution, and iterations per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Independent replications per sweep point.
+    pub seeds: usize,
+    /// Number of x-axis points per sweep.
+    pub sweep_points: usize,
+    /// Application iterations per simulated run.
+    pub iterations: usize,
+}
+
+impl Scale {
+    /// Paper-scale regeneration (the default for `swapsim`).
+    pub fn full() -> Self {
+        Scale {
+            seeds: 10,
+            sweep_points: 13,
+            iterations: 50,
+        }
+    }
+
+    /// Reduced scale for Criterion benches and CI: same models, coarser
+    /// sampling.
+    pub fn quick() -> Self {
+        Scale {
+            seeds: 3,
+            sweep_points: 6,
+            iterations: 15,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    /// Panics if any knob is zero.
+    pub fn validate(&self) {
+        assert!(self.seeds >= 1, "need at least one seed");
+        assert!(self.sweep_points >= 2, "need at least two sweep points");
+        assert!(self.iterations >= 2, "need at least two iterations");
+    }
+
+    /// The seed list used at this scale.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds as u64).collect()
+    }
+
+    /// `sweep_points` evenly spaced values covering `[lo, hi]` inclusive.
+    pub fn linspace(&self, lo: f64, hi: f64) -> Vec<f64> {
+        assert!(hi >= lo);
+        let n = self.sweep_points;
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    /// `sweep_points` log-spaced values covering `[lo, hi]` inclusive.
+    pub fn logspace(&self, lo: f64, hi: f64) -> Vec<f64> {
+        assert!(lo > 0.0 && hi >= lo);
+        let n = self.sweep_points;
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / (n - 1) as f64;
+                lo * (hi / lo).powf(f)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_valid() {
+        Scale::full().validate();
+        Scale::quick().validate();
+    }
+
+    #[test]
+    fn linspace_covers_endpoints() {
+        let s = Scale {
+            seeds: 1,
+            sweep_points: 5,
+            iterations: 2,
+        };
+        let v = s.linspace(0.0, 1.0);
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn logspace_covers_endpoints_geometrically() {
+        let s = Scale {
+            seeds: 1,
+            sweep_points: 3,
+            iterations: 2,
+        };
+        let v = s.logspace(1.0, 100.0);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+        assert!((v[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_list_length_matches() {
+        assert_eq!(Scale::quick().seed_list().len(), Scale::quick().seeds);
+    }
+}

@@ -1,0 +1,36 @@
+//! # experiments — regenerating every figure of the paper
+//!
+//! One generator per figure of *Policies for Swapping MPI Processes*
+//! (HPDC 2003), producing [`output::FigureData`] that the `swapsim`
+//! binary writes as CSV and renders as an ASCII chart, and that the
+//! integration tests assert qualitative shapes on.
+//!
+//! | id | paper content | generator |
+//! |----|----------------|-----------|
+//! | fig1 | payback-distance illustration | [`figures::fig1_payback`] |
+//! | fig2 | ON/OFF load example (p=0.3, q=0.08) | [`figures::fig2_onoff_trace`] |
+//! | fig3 | hyperexponential load example | [`figures::fig3_hyperexp_trace`] |
+//! | fig4 | NOTHING/SWAP/DLB/CR vs dynamism | [`figures::fig4_techniques_vs_dynamism`] |
+//! | fig5 | techniques vs over-allocation | [`figures::fig5_overallocation`] |
+//! | fig6 | SWAP/CR at 1 MB vs 1 GB state | [`figures::fig6_process_size`] |
+//! | fig7 | greedy/safe/friendly vs dynamism | [`figures::fig7_policies`] |
+//! | fig8 | policies at 1 GB state | [`figures::fig8_policies_large_state`] |
+//! | fig9 | techniques under hyperexponential load | [`figures::fig9_hyperexp`] |
+//!
+//! All experiments accept a [`config::Scale`] so the same code serves the
+//! full paper-scale regeneration, the Criterion benches, and quick CI
+//! checks.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod config;
+pub mod extensions;
+pub mod figures;
+pub mod output;
+pub mod report;
+pub mod scenario;
+pub mod tuner;
+
+pub use config::Scale;
+pub use output::{FigureData, Series};

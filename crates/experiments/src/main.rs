@@ -1,0 +1,350 @@
+//! `swapsim` — regenerate the paper's figures.
+//!
+//! ```text
+//! swapsim all [--quick] [--out DIR]     regenerate every figure
+//! swapsim fig4 [--quick] [--out DIR]    regenerate one figure
+//! swapsim list                          list figure ids and contents
+//! ```
+//!
+//! Each figure is written as `DIR/<id>.csv` (plus `<id>.json` with full
+//! metadata) and rendered as an ASCII chart on stdout.
+
+use experiments::ablations::{ablation_by_id, ALL_ABLATIONS};
+use experiments::extensions::{extension_by_id, ALL_EXTENSIONS};
+use experiments::figures::{by_id, ALL_FIGURES};
+use experiments::report::{render_markdown, run_report};
+use experiments::{FigureData, Scale};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    match args[0].as_str() {
+        "list" => {
+            println!("figures:");
+            for id in ALL_FIGURES {
+                println!("  {id}");
+            }
+            println!("ablations:");
+            for id in ALL_ABLATIONS {
+                println!("  {id}");
+            }
+            println!("extensions:");
+            for id in ALL_EXTENSIONS {
+                println!("  {id}");
+            }
+            println!("other commands:");
+            println!("  report    paper-vs-measured verification table");
+            println!("  compare   all strategies at one operating point");
+            println!("  gantt     host-occupancy chart of one run");
+            println!("  policy    evaluate a custom PolicyParams JSON");
+            println!("  tune      grid-search the policy space at an operating point");
+            println!("  scenario  print a scenario JSON template");
+            println!("  run       execute a scenario file (swapsim run exp.json)");
+        }
+        "all" => {
+            for id in ALL_FIGURES {
+                run_figure(id, &scale, &out_dir);
+            }
+        }
+        "ablations" => {
+            for id in ALL_ABLATIONS {
+                run_figure(id, &scale, &out_dir);
+            }
+        }
+        "extensions" => {
+            for id in ALL_EXTENSIONS {
+                run_figure(id, &scale, &out_dir);
+            }
+        }
+        "policy" => {
+            // swapsim policy <file.json|--template> [duty] [state_bytes]:
+            // evaluate a custom policy (serde JSON of PolicyParams).
+            match args.get(1).map(String::as_str) {
+                Some("--template") | None => {
+                    let template = swap_core::PolicyParams::safe();
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&template).expect("serializes")
+                    );
+                    println!("\n# save as policy.json, edit, then: swapsim policy policy.json");
+                }
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    let policy: swap_core::PolicyParams = serde_json::from_str(&text)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{path} is not a valid PolicyParams JSON: {e}");
+                            std::process::exit(2);
+                        });
+                    let duty: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+                    let state: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1e8);
+                    run_policy_eval(policy, duty, state, &scale);
+                }
+            }
+        }
+        "scenario" => {
+            // swapsim scenario --template: print a scenario JSON template.
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&experiments::scenario::Scenario::template())
+                    .expect("serializes")
+            );
+        }
+        "run" => {
+            // swapsim run <scenario.json>: execute a scenario file.
+            let path = args.get(1).unwrap_or_else(|| {
+                eprintln!("usage: swapsim run <scenario.json>");
+                std::process::exit(2);
+            });
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let scenario: experiments::scenario::Scenario = serde_json::from_str(&text)
+                .unwrap_or_else(|e| {
+                    eprintln!("{path} is not a valid scenario: {e}");
+                    std::process::exit(2);
+                });
+            let t0 = Instant::now();
+            let results = scenario.run();
+            println!(
+                "{:<16} {:>9} {:>9} {:>9} {:>9} {:>8}",
+                "strategy", "mean [s]", "p10", "median", "p90", "adapts"
+            );
+            for r in &results {
+                let e = r.execution_time;
+                println!(
+                    "{:<16} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>8.1}",
+                    r.strategy, e.mean, e.p10, e.median, e.p90, r.mean_adaptations
+                );
+            }
+            println!(
+                "\n{} strategies x {} replications in {:.1}s",
+                results.len(),
+                scenario.replications,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        "tune" => {
+            // swapsim tune [duty] [state_bytes]: grid-search the policy
+            // space at one operating point.
+            let duty: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+            let state: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1e8);
+            let (nothing, results) = experiments::tuner::tune(duty, state, &scale);
+            println!(
+                "policy grid search at duty {duty}, state {state:.0} B ({} policies, NOTHING = {nothing:.0} s)\n",
+                results.len()
+            );
+            println!(
+                "{:<9} {:>8} {:>10} {:>10} {:>9} {:>8}",
+                "payback", "history", "min_improv", "time [s]", "benefit", "swaps"
+            );
+            for r in results.iter().take(10) {
+                println!(
+                    "{:<9} {:>6.0} s {:>9.0}% {:>10.0} {:>8.1}% {:>8.1}",
+                    if r.policy.payback_threshold.is_finite() {
+                        format!("{:.2}", r.policy.payback_threshold)
+                    } else {
+                        "inf".to_owned()
+                    },
+                    r.policy.history.secs(),
+                    r.policy.min_process_improvement * 100.0,
+                    r.mean_time,
+                    r.benefit * 100.0,
+                    r.adaptations
+                );
+            }
+            println!("\n(named policies for reference: greedy=inf/0s/0%, safe=0.5/300s/20%, friendly=inf/60s/0%+2% app gate)");
+        }
+        "compare" => {
+            // swapsim compare [duty] [state_bytes] [n_active] [alloc]:
+            // one operating point, every strategy, with spread statistics.
+            let duty: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+            let state: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1e6);
+            let n_active: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let alloc: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(32);
+            run_compare(duty, state, n_active, alloc, &scale);
+        }
+        "gantt" => {
+            // swapsim gantt [strategy] [duty] [seed]: render one run's
+            // host occupancy.
+            let strategy_name = args.get(1).map(String::as_str).unwrap_or("swap");
+            let duty: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+            run_gantt(strategy_name, duty, seed, &scale);
+        }
+        "report" => {
+            let t0 = Instant::now();
+            let checks = run_report(&scale);
+            let md = render_markdown(&checks);
+            std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+            let path = out_dir.join("report.md");
+            std::fs::write(&path, &md).expect("cannot write report");
+            println!("{md}");
+            println!(
+                "wrote {} ({:.1}s)",
+                path.display(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        id if ALL_FIGURES.contains(&id)
+            || ALL_ABLATIONS.contains(&id)
+            || ALL_EXTENSIONS.contains(&id) =>
+        {
+            run_figure(id, &scale, &out_dir);
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage_and_exit();
+        }
+    }
+}
+
+fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
+    let t0 = Instant::now();
+    let fig: FigureData = by_id(id, scale)
+        .or_else(|| ablation_by_id(id, scale))
+        .or_else(|| extension_by_id(id, scale))
+        .unwrap_or_else(|| {
+            eprintln!("unknown figure id '{id}'");
+            std::process::exit(2);
+        });
+    let elapsed = t0.elapsed();
+
+    std::fs::create_dir_all(out_dir).expect("cannot create output directory");
+    let csv_path = out_dir.join(format!("{id}.csv"));
+    std::fs::write(&csv_path, fig.to_csv()).expect("cannot write CSV");
+    let json_path = out_dir.join(format!("{id}.json"));
+    std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&fig).expect("figure serializes"),
+    )
+    .expect("cannot write JSON");
+
+    println!("{}", fig.to_ascii(72, 20));
+    println!(
+        "wrote {} and {} ({} series, {:.1}s)\n",
+        csv_path.display(),
+        json_path.display(),
+        fig.series.len(),
+        elapsed.as_secs_f64()
+    );
+}
+
+fn run_policy_eval(policy: swap_core::PolicyParams, duty: f64, state: f64, scale: &Scale) {
+    use experiments::figures::{onoff_duty, platform};
+    use simulator::runner::run_replicated;
+    use simulator::strategies::{Nothing, Swap};
+
+    let mut app = simulator::AppSpec::hpdc03(4, state);
+    app.iterations = scale.iterations;
+    let spec = platform(onoff_duty(duty.clamp(0.0, 0.99)));
+    let seeds = scale.seed_list();
+
+    println!("custom policy: {policy:#?}\n");
+    let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds);
+    let custom = run_replicated(&spec, &app, &Swap::new(policy), 32, &seeds);
+    let greedy = run_replicated(&spec, &app, &Swap::greedy(), 32, &seeds);
+    let base = nothing.execution_time.mean;
+    for r in [&nothing, &custom, &greedy] {
+        println!(
+            "{:<16} {:>9.0} s   {:>6.1} adaptations   {:+.1}% vs nothing",
+            r.strategy,
+            r.execution_time.mean,
+            r.mean_adaptations,
+            100.0 * (1.0 - r.execution_time.mean / base)
+        );
+    }
+}
+
+fn run_compare(duty: f64, state: f64, n_active: usize, alloc: usize, scale: &Scale) {
+    use experiments::figures::{onoff_duty, platform};
+    use simulator::runner::run_replicated;
+    use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Strategy, Swap};
+
+    let mut app = simulator::AppSpec::hpdc03(n_active, state);
+    app.iterations = scale.iterations;
+    let spec = platform(onoff_duty(duty.clamp(0.0, 0.99)));
+    let seeds = scale.seed_list();
+
+    println!(
+        "operating point: duty {duty}, state {state:.0} B, N={n_active}, alloc={alloc}, {} iterations, {} seeds\n",
+        app.iterations,
+        seeds.len()
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>8} {:>11}",
+        "strategy", "mean [s]", "p10", "median", "p90", "adapts", "vs nothing"
+    );
+    let strategies: Vec<(Box<dyn Strategy>, usize)> = vec![
+        (Box::new(Nothing), n_active),
+        (Box::new(Dlb), n_active),
+        (Box::new(Swap::greedy()), alloc),
+        (Box::new(Swap::safe()), alloc),
+        (Box::new(Swap::friendly()), alloc),
+        (Box::new(Cr::greedy()), alloc),
+        (Box::new(DlbSwap::greedy()), alloc),
+    ];
+    let mut baseline = None;
+    for (s, a) in &strategies {
+        let r = run_replicated(&spec, &app, s.as_ref(), *a, &seeds);
+        let e = r.execution_time;
+        let base = *baseline.get_or_insert(e.mean);
+        println!(
+            "{:<16} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>8.1} {:>+10.1}%",
+            r.strategy,
+            e.mean,
+            e.p10,
+            e.median,
+            e.p90,
+            r.mean_adaptations,
+            100.0 * (1.0 - e.mean / base)
+        );
+    }
+}
+
+fn run_gantt(strategy_name: &str, duty: f64, seed: u64, scale: &Scale) {
+    use experiments::figures::{onoff_duty, platform};
+    use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, RunContext, Strategy, Swap};
+
+    let (strategy, alloc): (Box<dyn Strategy>, usize) = match strategy_name {
+        "nothing" => (Box::new(Nothing), 4),
+        "dlb" => (Box::new(Dlb), 4),
+        "swap" | "greedy" => (Box::new(Swap::greedy()), 32),
+        "safe" => (Box::new(Swap::safe()), 32),
+        "friendly" => (Box::new(Swap::friendly()), 32),
+        "cr" => (Box::new(Cr::greedy()), 32),
+        "dlb+swap" => (Box::new(DlbSwap::greedy()), 32),
+        other => {
+            eprintln!("unknown strategy '{other}' (nothing|dlb|swap|safe|friendly|cr|dlb+swap)");
+            std::process::exit(2);
+        }
+    };
+    let mut app = simulator::AppSpec::hpdc03(4, 1.0e6);
+    app.iterations = scale.iterations;
+    let p = platform(onoff_duty(duty.clamp(0.0, 0.99))).realize(seed);
+    let ctx = RunContext::new(&p, &app, alloc);
+    let run = strategy.run(&ctx);
+    print!("{}", simulator::gantt::render_ascii(&run, 72));
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--out DIR]\n       swapsim gantt [strategy] [duty] [seed]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]");
+    std::process::exit(1);
+}

@@ -1,0 +1,229 @@
+//! Figure data containers, CSV export, and ASCII chart rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named curve of a figure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The y value at the given index.
+    pub fn y(&self, i: usize) -> f64 {
+        self.points[i].1
+    }
+
+    /// Minimum y over the series.
+    pub fn y_min(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum y over the series.
+    pub fn y_max(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// A complete figure: metadata plus one or more series over a common
+/// x-domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure identifier, e.g. `"fig4"`.
+    pub id: String,
+    /// Human title (the paper's caption, abbreviated).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Renders the figure as CSV: a header of `x,<series...>` and one row
+    /// per x value. Series are aligned by point index (all generators
+    /// produce series over the same x grid); series with fewer points get
+    /// empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push('x');
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name.replace(',', ";"));
+        }
+        out.push('\n');
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for i in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0))
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a plain-text line chart with a legend — enough to eyeball
+    /// the qualitative shape in a terminal.
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        assert!(width >= 16 && height >= 4, "chart too small");
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() {
+            return format!("{} — (no data)\n", self.title);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for &(x, y) in &s.points {
+                let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy;
+                grid[row][cx.min(width - 1)] = mark;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let _ = writeln!(out, "y: {} in [{:.3e}, {:.3e}]", self.y_label, y_min, y_max);
+        for row in &grid {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat('-').take(width));
+        out.push('\n');
+        let _ = writeln!(out, " x: {} in [{:.3}, {:.3}]", self.x_label, x_min, x_max);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} {}", MARKS[si % MARKS.len()], s.name);
+        }
+        out
+    }
+
+    /// Looks up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]),
+                Series::new("b", vec![(0.0, 3.0), (1.0, 1.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,1");
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_names() {
+        let mut f = fig();
+        f.series[0].name = "a,b".into();
+        assert!(f.to_csv().lines().next().unwrap().contains("a;b"));
+    }
+
+    #[test]
+    fn ascii_contains_marks_and_legend() {
+        let art = fig().to_ascii(40, 10);
+        assert!(art.contains('*'));
+        assert!(art.contains('o'));
+        assert!(art.contains("a\n") || art.contains("a"));
+        assert!(art.contains("figX"));
+    }
+
+    #[test]
+    fn ascii_handles_empty_figure() {
+        let f = FigureData {
+            id: "e".into(),
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(f.to_ascii(40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn series_stats() {
+        let s = Series::new("s", vec![(0.0, 5.0), (1.0, 2.0), (2.0, 8.0)]);
+        assert_eq!(s.y_min(), 2.0);
+        assert_eq!(s.y_max(), 8.0);
+        assert_eq!(s.y(1), 2.0);
+    }
+
+    #[test]
+    fn series_lookup_by_name() {
+        let f = fig();
+        assert!(f.series_named("a").is_some());
+        assert!(f.series_named("zzz").is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Scenario files: a complete experiment as one JSON document.
+//!
+//! A [`Scenario`] bundles the platform spec, the application spec, the
+//! replication seeds, and a list of strategies — everything
+//! `run_replicated` needs — so downstream users can describe their own
+//! study without writing Rust. `swapsim run scenario.json` executes it;
+//! `swapsim scenario --template` prints a starting point.
+
+use serde::{Deserialize, Serialize};
+use simulator::platform::PlatformSpec;
+use simulator::runner::{run_replicated, ReplicatedResult};
+use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Oracle, Strategy, Swap};
+use simulator::AppSpec;
+use swap_core::PolicyParams;
+
+/// A strategy reference, serializable for scenario files.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum StrategyRef {
+    /// The NOTHING baseline (allocates exactly N).
+    Nothing,
+    /// Ideal dynamic load balancing (allocates exactly N).
+    Dlb,
+    /// Process swapping under a policy.
+    Swap {
+        /// The swapping policy.
+        policy: PolicyParams,
+    },
+    /// Checkpoint/restart triggered by the same criteria.
+    Cr {
+        /// The trigger policy.
+        policy: PolicyParams,
+    },
+    /// The DLB + swapping hybrid.
+    DlbSwap {
+        /// The swapping policy.
+        policy: PolicyParams,
+    },
+    /// The clairvoyant free-migration upper bound.
+    Oracle,
+}
+
+impl StrategyRef {
+    /// Materializes the strategy object and the allocation it wants
+    /// (`n_active` for non-over-allocating strategies, `allocated`
+    /// otherwise).
+    pub fn build(&self, n_active: usize, allocated: usize) -> (Box<dyn Strategy>, usize) {
+        match self {
+            StrategyRef::Nothing => (Box::new(Nothing), n_active),
+            StrategyRef::Dlb => (Box::new(Dlb), n_active),
+            StrategyRef::Oracle => (Box::new(Oracle), n_active),
+            StrategyRef::Swap { policy } => (Box::new(Swap::new(*policy)), allocated),
+            StrategyRef::Cr { policy } => (Box::new(Cr::new(*policy)), allocated),
+            StrategyRef::DlbSwap { policy } => (Box::new(DlbSwap::new(*policy)), allocated),
+        }
+    }
+}
+
+/// A self-contained experiment description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Platform to simulate.
+    pub platform: PlatformSpec,
+    /// Application to run.
+    pub app: AppSpec,
+    /// Total processes allocated by over-allocating strategies.
+    pub allocated: usize,
+    /// Number of independent replications (seeds `0..replications`).
+    pub replications: usize,
+    /// Strategies to compare, in output order.
+    pub strategies: Vec<StrategyRef>,
+}
+
+impl Scenario {
+    /// A ready-to-edit template: the Figure 4 operating point at duty
+    /// 0.5 with all six strategies.
+    pub fn template() -> Self {
+        use loadmodel::OnOffSource;
+        use simulator::platform::LoadSpec;
+        let mut platform = PlatformSpec::hpdc03(LoadSpec::OnOff(OnOffSource::for_duty_cycle(
+            0.5, 0.08, 30.0,
+        )));
+        platform.horizon = 150_000.0;
+        Scenario {
+            platform,
+            app: AppSpec::hpdc03(4, 1.0e6),
+            allocated: 32,
+            replications: 8,
+            strategies: vec![
+                StrategyRef::Nothing,
+                StrategyRef::Dlb,
+                StrategyRef::Swap {
+                    policy: PolicyParams::greedy(),
+                },
+                StrategyRef::Swap {
+                    policy: PolicyParams::safe(),
+                },
+                StrategyRef::Cr {
+                    policy: PolicyParams::greedy(),
+                },
+                StrategyRef::Oracle,
+            ],
+        }
+    }
+
+    /// Validates the scenario.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on inconsistent fields.
+    pub fn validate(&self) {
+        self.app.validate();
+        assert!(self.replications >= 1, "need at least one replication");
+        assert!(!self.strategies.is_empty(), "need at least one strategy");
+        assert!(
+            self.app.n_active <= self.platform.n_hosts,
+            "app needs {} processors, platform has {}",
+            self.app.n_active,
+            self.platform.n_hosts
+        );
+    }
+
+    /// Runs every strategy, in order.
+    pub fn run(&self) -> Vec<ReplicatedResult> {
+        self.validate();
+        let seeds: Vec<u64> = (0..self.replications as u64).collect();
+        self.strategies
+            .iter()
+            .map(|sref| {
+                let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
+                run_replicated(&self.platform, &self.app, strategy.as_ref(), alloc, &seeds)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_round_trips_through_json() {
+        let s = Scenario::template();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn scenario_runs_all_strategies_in_order() {
+        let mut s = Scenario::template();
+        s.replications = 2;
+        s.app.iterations = 6;
+        s.strategies = vec![
+            StrategyRef::Nothing,
+            StrategyRef::Swap {
+                policy: PolicyParams::greedy(),
+            },
+            StrategyRef::Oracle,
+        ];
+        let results = s.run();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].strategy, "nothing");
+        assert_eq!(results[1].strategy, "swap(custom)");
+        assert_eq!(results[2].strategy, "oracle");
+        // Oracle lower-bounds everything.
+        assert!(results[2].execution_time.mean <= results[1].execution_time.mean + 1e-6);
+    }
+
+    #[test]
+    fn handwritten_json_is_accepted() {
+        // The format a user would write by hand (strategy tags in
+        // snake_case, policies inline).
+        let json = r#"{
+            "platform": {
+                "n_hosts": 8,
+                "speed_range": [2e8, 4e8],
+                "link": { "latency": 1e-4, "bandwidth": 6e6 },
+                "startup_per_process": 0.75,
+                "load": { "OnOff": { "p": 0.08, "q": 0.08, "step": 30.0 } },
+                "horizon": 50000.0
+            },
+            "app": {
+                "n_active": 2,
+                "iterations": 5,
+                "flops_per_proc_iter": 1.8e10,
+                "bytes_per_proc_iter": 1e6,
+                "process_state_bytes": 1e6
+            },
+            "allocated": 8,
+            "replications": 2,
+            "strategies": [
+                { "kind": "nothing" },
+                { "kind": "swap", "policy": {
+                    "payback_threshold": 0.5,
+                    "min_process_improvement": 0.2,
+                    "min_app_improvement": 0.0,
+                    "history": 300.0,
+                    "predictor": "WindowedMean"
+                } }
+            ]
+        }"#;
+        let s: Scenario = serde_json::from_str(json).expect("hand JSON parses");
+        let results = s.run();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.execution_time.mean > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn empty_strategy_list_rejected() {
+        let mut s = Scenario::template();
+        s.strategies.clear();
+        s.validate();
+    }
+}

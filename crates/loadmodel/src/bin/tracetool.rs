@@ -1,0 +1,155 @@
+//! `tracetool` — inspect, generate, and slice CPU load traces.
+//!
+//! ```text
+//! tracetool stats <file> [horizon]            summary statistics of a trace
+//! tracetool gen <model> <horizon> <seed>      generate a trace to stdout
+//!     models: onoff[:p,q,step] | duty[:d,q,step] | hyperexp[:mean,branch,rate]
+//!             pareto[:alpha,lo,hi,rate] | diurnal[:day,peak]
+//! tracetool window <file> <span> <offset> <len>   slice a replay window
+//! ```
+//!
+//! Traces use the `timestamp load` text format of `loadmodel::replay`
+//! (comments with `#`, one sample per line), so real host-load archives
+//! drop in directly.
+
+use loadmodel::replay::{format_trace, parse_trace, TraceReplayer};
+use loadmodel::{
+    stats, BoundedPareto, DegenerateHyperExp, DiurnalTraceGenerator, HyperExpWorkload, LoadTrace,
+    OnOffSource, ParetoWorkload,
+};
+use simkit::rng::rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let trace = parse_trace(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            });
+            let horizon: f64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| trace.counts().last_change().max(1.0));
+            print_stats(&trace, horizon);
+        }
+        Some("gen") => {
+            let model = args.get(1).unwrap_or_else(|| usage());
+            let horizon: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3600.0);
+            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+            let trace = generate(model, horizon, seed).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            print!("{}", format_trace(&trace));
+        }
+        Some("window") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let span: f64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let offset: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            let len: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(span);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let archive = parse_trace(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            });
+            let window = TraceReplayer::new(archive, span).window(offset, len);
+            print!("{}", format_trace(&window));
+        }
+        _ => {
+            usage();
+        }
+    }
+}
+
+fn print_stats(trace: &LoadTrace, horizon: f64) {
+    let s = stats::sojourn_stats(trace, horizon);
+    println!("horizon:         {horizon:.1} s");
+    println!(
+        "mean load:       {:.3} competing processes",
+        stats::mean_count(trace, horizon)
+    );
+    println!("peak load:       {}", stats::peak_count(trace, horizon));
+    println!("busy fraction:   {:.1}%", 100.0 * s.busy_fraction);
+    println!("busy periods:    {}", s.busy_periods);
+    println!("mean busy:       {:.1} s", s.mean_busy);
+    println!("mean idle:       {:.1} s", s.mean_idle);
+    println!(
+        "transitions:     {}",
+        stats::transition_count(trace, horizon)
+    );
+}
+
+fn generate(model: &str, horizon: f64, seed: u64) -> Result<LoadTrace, String> {
+    let mut r = rng(seed);
+    let (name, params) = match model.split_once(':') {
+        Some((n, p)) => (n, p.split(',').collect::<Vec<_>>()),
+        None => (model, Vec::new()),
+    };
+    let f = |params: &[&str], i: usize, default: f64| -> f64 {
+        params
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    Ok(match name {
+        "onoff" => {
+            let src =
+                OnOffSource::with_step(f(&params, 0, 0.3), f(&params, 1, 0.08), f(&params, 2, 1.0));
+            src.generate(horizon, &mut r)
+        }
+        "duty" => {
+            let src = OnOffSource::for_duty_cycle(
+                f(&params, 0, 0.5),
+                f(&params, 1, 0.08),
+                f(&params, 2, 30.0),
+            );
+            src.generate(horizon, &mut r)
+        }
+        "hyperexp" => {
+            let w = HyperExpWorkload::new(
+                DegenerateHyperExp::new(f(&params, 0, 60.0), f(&params, 1, 0.4)),
+                f(&params, 2, 1.0 / 120.0),
+            );
+            w.generate(horizon, &mut r)
+        }
+        "pareto" => {
+            let w = ParetoWorkload::new(
+                BoundedPareto::new(
+                    f(&params, 0, 1.1),
+                    f(&params, 1, 1.0),
+                    f(&params, 2, 5000.0),
+                ),
+                f(&params, 3, 1.0 / 600.0),
+            );
+            w.generate(horizon, &mut r)
+        }
+        "diurnal" => {
+            let g = DiurnalTraceGenerator {
+                day_length: f(&params, 0, 86_400.0),
+                peak_load: f(&params, 1, 1.5),
+                ..DiurnalTraceGenerator::default()
+            };
+            g.generate(horizon, &mut r)
+        }
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracetool stats <file> [horizon]\n       tracetool gen <onoff|duty|hyperexp|pareto|diurnal>[:params] [horizon] [seed]\n       tracetool window <file> <span> [offset] [len]"
+    );
+    std::process::exit(1);
+}

@@ -1,0 +1,327 @@
+//! ON/OFF Markov load sources (§6, first model; Figure 2).
+//!
+//! "An ON/OFF source is a two-state Markov chain with fixed probabilities
+//! p and q of exiting each state. Using this model we generate traces of
+//! CPU loads that take value 1 (ON, i.e. loaded with one competing
+//! compute-intensive process) or 0 (OFF, i.e. unloaded)."
+//!
+//! The chain is clocked once per time step (1 s by default, matching the
+//! Figure 2 example; experiment configs use coarser steps so that load
+//! events persist across application iterations — see DESIGN.md). Sojourn
+//! times in each state are geometric (OFF ~ Geom(p), ON ~ Geom(q), support
+//! ≥ 1 step), which is how the generator samples them — one draw per state
+//! visit instead of one per step.
+
+use crate::trace::LoadTrace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A two-state Markov ON/OFF load source.
+///
+/// ```
+/// use loadmodel::OnOffSource;
+/// use simkit::rng::rng;
+///
+/// // The paper's Figure 2 example: p=0.3, q=0.08 per second.
+/// let src = OnOffSource::fig2_example();
+/// assert!((src.duty_cycle() - 0.789).abs() < 0.001);
+///
+/// let trace = src.generate(600.0, &mut rng(0));
+/// // Counts are binary for a single source.
+/// assert!(trace.counts().points().iter().all(|&(_, v)| v == 0.0 || v == 1.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnOffSource {
+    /// Per-step probability of leaving OFF (becoming loaded).
+    pub p: f64,
+    /// Per-step probability of leaving ON (becoming unloaded).
+    pub q: f64,
+    /// Clock step of the Markov chain, seconds.
+    pub step: f64,
+}
+
+impl OnOffSource {
+    /// Creates a source with OFF→ON probability `p` and ON→OFF probability
+    /// `q`, both per one-second step.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities lie in `[0, 1]`.
+    pub fn new(p: f64, q: f64) -> Self {
+        OnOffSource::with_step(p, q, 1.0)
+    }
+
+    /// Creates a source whose Markov chain is clocked every `step` seconds
+    /// (`p`, `q` are per-step exit probabilities).
+    ///
+    /// # Panics
+    /// Panics unless both probabilities lie in `[0, 1]` and `step > 0`.
+    pub fn with_step(p: f64, q: f64, step: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+        assert!(step > 0.0 && step.is_finite(), "step must be positive");
+        OnOffSource { p, q, step }
+    }
+
+    /// Builds a source with a prescribed long-run duty cycle (fraction of
+    /// time loaded), holding the ON-exit probability at `q_per_step` where
+    /// possible.
+    ///
+    /// `p = q·d/(1−d)` reproduces duty cycle `d`; once that would exceed 1
+    /// (very high duty), `p` is capped at 1 and `q = (1−d)/d` shrinks
+    /// instead, so the whole `d ∈ [0, 1)` range remains reachable and the
+    /// high-duty end degenerates into rapid flicker — the paper's "too
+    /// chaotic for any technique to do well" regime.
+    ///
+    /// # Panics
+    /// Panics unless `duty ∈ [0, 1)`, `q_per_step ∈ (0, 1]`, `step > 0`.
+    pub fn for_duty_cycle(duty: f64, q_per_step: f64, step: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&duty),
+            "duty cycle must be in [0,1), got {duty}"
+        );
+        assert!(
+            q_per_step > 0.0 && q_per_step <= 1.0,
+            "q must be in (0,1], got {q_per_step}"
+        );
+        if duty == 0.0 {
+            return OnOffSource::with_step(0.0, q_per_step, step);
+        }
+        let p = q_per_step * duty / (1.0 - duty);
+        if p <= 1.0 {
+            OnOffSource::with_step(p, q_per_step, step)
+        } else {
+            OnOffSource::with_step(1.0, (1.0 - duty) / duty, step)
+        }
+    }
+
+    /// The paper's Figure 2 example parameters: `p = 0.3`, `q = 0.08`.
+    pub fn fig2_example() -> Self {
+        OnOffSource::new(0.3, 0.08)
+    }
+
+    /// Long-run fraction of time the source is ON: `p / (p + q)`.
+    ///
+    /// Returns 0 for the degenerate `p = q = 0` chain (which stays in its
+    /// initial state forever; we start OFF).
+    pub fn duty_cycle(&self) -> f64 {
+        if self.p + self.q == 0.0 {
+            0.0
+        } else {
+            self.p / (self.p + self.q)
+        }
+    }
+
+    /// Mean ON sojourn, seconds (`step/q`; infinite when `q = 0`).
+    pub fn mean_on(&self) -> f64 {
+        if self.q == 0.0 {
+            f64::INFINITY
+        } else {
+            self.step / self.q
+        }
+    }
+
+    /// Mean OFF sojourn, seconds (`step/p`; infinite when `p = 0`).
+    pub fn mean_off(&self) -> f64 {
+        if self.p == 0.0 {
+            f64::INFINITY
+        } else {
+            self.step / self.p
+        }
+    }
+
+    /// Generates a trace of length `horizon` seconds.
+    ///
+    /// The initial state is drawn from the chain's stationary distribution,
+    /// so the trace is statistically homogeneous from `t = 0` (no warm-up
+    /// bias between competing strategy runs).
+    pub fn generate<R: Rng + ?Sized>(&self, horizon: f64, rng: &mut R) -> LoadTrace {
+        assert!(horizon >= 0.0 && horizon.is_finite());
+        // Stationary start.
+        let mut on = rng.gen_bool(self.duty_cycle().clamp(0.0, 1.0));
+        let mut t = 0.0;
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        while t < horizon {
+            let exit_prob = if on { self.q } else { self.p };
+            let sojourn = geometric_seconds(exit_prob, rng) * self.step;
+            let end = (t + sojourn).min(horizon);
+            if on {
+                intervals.push((t, end));
+            }
+            if sojourn == f64::INFINITY {
+                break;
+            }
+            t += sojourn;
+            on = !on;
+        }
+        LoadTrace::from_intervals(intervals)
+    }
+
+    /// Generates and stacks `n` independent sources ("more complex loads
+    /// can be easily generated by aggregating ON/OFF sources").
+    pub fn generate_aggregate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        horizon: f64,
+        rng: &mut R,
+    ) -> LoadTrace {
+        assert!(n >= 1, "need at least one source");
+        let traces: Vec<LoadTrace> = (0..n).map(|_| self.generate(horizon, rng)).collect();
+        LoadTrace::merge_all(&traces)
+    }
+}
+
+/// Samples a geometric sojourn (integer seconds, support ≥ 1) for a state
+/// exited with probability `prob` per second. `prob = 0` yields +∞,
+/// `prob = 1` yields exactly 1 s.
+fn geometric_seconds<R: Rng + ?Sized>(prob: f64, rng: &mut R) -> f64 {
+    if prob <= 0.0 {
+        return f64::INFINITY;
+    }
+    if prob >= 1.0 {
+        return 1.0;
+    }
+    // Inverse CDF of the geometric distribution on {1, 2, ...}.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    ((1.0 - u).ln() / (1.0 - prob).ln()).ceil().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use simkit::rng::rng;
+
+    #[test]
+    fn duty_cycle_matches_formula() {
+        let s = OnOffSource::fig2_example();
+        assert!((s.duty_cycle() - 0.3 / 0.38).abs() < 1e-12);
+        assert_eq!(OnOffSource::new(0.0, 0.0).duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn p_zero_generates_silence_q_zero_generates_permanence() {
+        let mut r = rng(1);
+        let silent = OnOffSource::new(0.0, 0.5).generate(1000.0, &mut r);
+        assert_eq!(silent.counts().integrate(0.0, 1000.0), 0.0);
+
+        // With p=1,q=0 the source turns ON within a second and stays there.
+        let stuck = OnOffSource::new(1.0, 0.0).generate(1000.0, &mut r);
+        assert!(stuck.counts().integrate(0.0, 1000.0) >= 998.0);
+    }
+
+    #[test]
+    fn counts_are_binary() {
+        let mut r = rng(7);
+        let t = OnOffSource::fig2_example().generate(500.0, &mut r);
+        for &(_, v) in t.counts().points() {
+            assert!(v == 0.0 || v == 1.0, "single source count must be 0/1");
+        }
+    }
+
+    #[test]
+    fn empirical_duty_cycle_approaches_theory() {
+        let mut r = rng(42);
+        let src = OnOffSource::fig2_example();
+        let horizon = 200_000.0;
+        let t = src.generate(horizon, &mut r);
+        let measured = t.counts().integrate(0.0, horizon) / horizon;
+        let expect = src.duty_cycle();
+        assert!(
+            (measured - expect).abs() < 0.02,
+            "measured {measured}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn empirical_mean_on_sojourn_approaches_theory() {
+        let mut r = rng(11);
+        let src = OnOffSource::new(0.2, 0.1);
+        let t = src.generate(300_000.0, &mut r);
+        let s = stats::sojourn_stats(&t, 300_000.0);
+        // Mean geometric(0.1) sojourn = 10 s.
+        assert!(
+            (s.mean_busy - 10.0).abs() < 1.0,
+            "mean ON sojourn {} (expected ≈10)",
+            s.mean_busy
+        );
+    }
+
+    #[test]
+    fn aggregation_allows_counts_above_one() {
+        let mut r = rng(3);
+        let t = OnOffSource::new(0.5, 0.1).generate_aggregate(4, 2000.0, &mut r);
+        let max = t
+            .counts()
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert!(max >= 2.0, "4 busy sources should overlap, max={max}");
+        assert!(max <= 4.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = OnOffSource::fig2_example().generate(1000.0, &mut rng(9));
+        let b = OnOffSource::fig2_example().generate(1000.0, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn rejects_invalid_probability() {
+        OnOffSource::new(1.5, 0.1);
+    }
+
+    #[test]
+    fn step_scales_sojourns() {
+        let mut r = rng(21);
+        let src = OnOffSource::with_step(0.2, 0.1, 30.0);
+        assert_eq!(src.mean_on(), 300.0);
+        assert_eq!(src.mean_off(), 150.0);
+        let t = src.generate(600_000.0, &mut r);
+        let s = stats::sojourn_stats(&t, 600_000.0);
+        assert!(
+            (s.mean_busy - 300.0).abs() < 30.0,
+            "mean ON sojourn {} (expected ≈300)",
+            s.mean_busy
+        );
+    }
+
+    #[test]
+    fn duty_cycle_constructor_hits_target() {
+        for duty in [0.1, 0.5, 0.9, 0.97] {
+            let src = OnOffSource::for_duty_cycle(duty, 0.08, 30.0);
+            assert!(
+                (src.duty_cycle() - duty).abs() < 1e-9,
+                "requested {duty}, got {}",
+                src.duty_cycle()
+            );
+            let mut r = rng(31);
+            let horizon = 3_000_000.0;
+            let t = src.generate(horizon, &mut r);
+            let measured = t.counts().integrate(0.0, horizon) / horizon;
+            assert!(
+                (measured - duty).abs() < 0.03,
+                "duty {duty}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn duty_cycle_zero_is_silent() {
+        let src = OnOffSource::for_duty_cycle(0.0, 0.08, 30.0);
+        assert_eq!(src.p, 0.0);
+        assert_eq!(src.duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn extreme_duty_cycle_caps_p_and_shrinks_q() {
+        // duty 0.95 with q=0.08 would need p=1.52: the constructor caps p
+        // at 1 and lowers q instead.
+        let src = OnOffSource::for_duty_cycle(0.95, 0.08, 30.0);
+        assert_eq!(src.p, 1.0);
+        assert!((src.q - 0.05 / 0.95).abs() < 1e-12);
+        assert!((src.duty_cycle() - 0.95).abs() < 1e-9);
+    }
+}

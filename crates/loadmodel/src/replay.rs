@@ -1,0 +1,324 @@
+//! Trace replay and realistic synthetic traces.
+//!
+//! The paper leaves "the use of CPU load traces" as future work; this
+//! module supplies the machinery. Real host-load archives (NWS, Dinda's
+//! host-load traces) cannot be bundled here, so
+//! [`DiurnalTraceGenerator`] synthesizes the closest equivalent — a
+//! work-hours diurnal cycle with AR(1) short-term correlation and
+//! occasional long-lived spikes, quantized to competing-process counts —
+//! while [`parse_trace`]/[`format_trace`] read and write the standard
+//! `timestamp load` text format so genuine archives drop in unchanged.
+//!
+//! [`TraceReplayer`] slices one long trace into per-host windows (the
+//! usual protocol in trace-driven studies: every host replays a
+//! different offset of the same archive).
+
+use crate::trace::LoadTrace;
+use rand::Rng;
+use simkit::Timeline;
+
+/// Parses a `timestamp load` text trace (one sample per line; `#`
+/// comments and blank lines ignored). Timestamps must be strictly
+/// increasing and start at or after zero; loads are non-negative counts.
+///
+/// Returns a [`LoadTrace`] holding the samples as a step function
+/// (each load level holds until the next timestamp).
+pub fn parse_trace(text: &str) -> Result<LoadTrace, String> {
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let t: f64 = fields
+            .next()
+            .ok_or_else(|| format!("line {}: missing timestamp", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad timestamp: {e}", lineno + 1))?;
+        let v: f64 = fields
+            .next()
+            .ok_or_else(|| format!("line {}: missing load value", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad load value: {e}", lineno + 1))?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(format!("line {}: timestamp out of range", lineno + 1));
+        }
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("line {}: load out of range", lineno + 1));
+        }
+        if let Some(&(last_t, _)) = points.last() {
+            if t <= last_t {
+                return Err(format!(
+                    "line {}: timestamps must be strictly increasing",
+                    lineno + 1
+                ));
+            }
+        }
+        points.push((t, v));
+    }
+    if points.is_empty() {
+        return Err("trace has no samples".to_owned());
+    }
+    // A trace that starts late is unloaded before its first sample.
+    if points[0].0 > 0.0 {
+        points.insert(0, (0.0, 0.0));
+    }
+    Ok(LoadTrace::from_timeline(Timeline::from_points(points)))
+}
+
+/// Formats a trace as `timestamp load` lines (inverse of
+/// [`parse_trace`]).
+pub fn format_trace(trace: &LoadTrace) -> String {
+    let mut out = String::from("# timestamp load\n");
+    for &(t, v) in trace.counts().points() {
+        out.push_str(&format!("{t} {v}\n"));
+    }
+    out
+}
+
+/// Slices one long archive trace into per-host replay windows.
+#[derive(Clone, Debug)]
+pub struct TraceReplayer {
+    archive: LoadTrace,
+    /// Length of the archive's meaningful span, seconds.
+    span: f64,
+}
+
+impl TraceReplayer {
+    /// Wraps an archive trace whose content covers `[0, span]`.
+    ///
+    /// # Panics
+    /// Panics if `span` is not positive.
+    pub fn new(archive: LoadTrace, span: f64) -> Self {
+        assert!(span > 0.0 && span.is_finite(), "span must be positive");
+        TraceReplayer { archive, span }
+    }
+
+    /// A window of length `len` starting at `offset` (wrapping around the
+    /// archive span), re-based to start at time zero.
+    ///
+    /// # Panics
+    /// Panics if `len` is not positive or `offset` is negative.
+    pub fn window(&self, offset: f64, len: f64) -> LoadTrace {
+        assert!(len > 0.0 && offset >= 0.0);
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        // Walk the archive in wrapped slices of the span.
+        let mut produced = 0.0;
+        let mut cursor = offset % self.span;
+        while produced < len {
+            let chunk = (self.span - cursor).min(len - produced);
+            for (lo, hi, v) in self.archive.counts().segments_in(cursor, cursor + chunk) {
+                if v > 0.0 {
+                    // Stack v competitors as v parallel unit intervals.
+                    let start = produced + (lo - cursor);
+                    let end = produced + (hi - cursor);
+                    for _ in 0..v.round() as usize {
+                        intervals.push((start, end));
+                    }
+                }
+            }
+            produced += chunk;
+            cursor = (cursor + chunk) % self.span;
+        }
+        LoadTrace::from_intervals(intervals)
+    }
+
+    /// One window per host, offset by `span / n_hosts` each — the usual
+    /// way a single archive drives a whole simulated platform.
+    pub fn per_host_windows(&self, n_hosts: usize, len: f64) -> Vec<LoadTrace> {
+        assert!(n_hosts >= 1);
+        (0..n_hosts)
+            .map(|i| self.window(i as f64 * self.span / n_hosts as f64, len))
+            .collect()
+    }
+}
+
+/// Synthesizes realistic desktop-workstation load: a diurnal work-hours
+/// cycle, AR(1)-correlated short-term fluctuation, and rare long-lived
+/// heavy spikes (a user launching a big job).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiurnalTraceGenerator {
+    /// Length of one "day", seconds (86400 for real time; shrink for
+    /// fast experiments).
+    pub day_length: f64,
+    /// Mean competing processes at the daily peak.
+    pub peak_load: f64,
+    /// AR(1) coefficient of the short-term fluctuation, in `[0, 1)`.
+    pub persistence: f64,
+    /// Probability per sample of starting a heavy spike.
+    pub spike_prob: f64,
+    /// Sampling period, seconds.
+    pub sample_period: f64,
+}
+
+impl Default for DiurnalTraceGenerator {
+    fn default() -> Self {
+        DiurnalTraceGenerator {
+            day_length: 86_400.0,
+            peak_load: 1.5,
+            persistence: 0.9,
+            spike_prob: 0.002,
+            sample_period: 60.0,
+        }
+    }
+}
+
+impl DiurnalTraceGenerator {
+    /// Generates a trace of `horizon` seconds.
+    pub fn generate<R: Rng + ?Sized>(&self, horizon: f64, rng: &mut R) -> LoadTrace {
+        assert!(horizon > 0.0 && self.sample_period > 0.0);
+        assert!((0.0..1.0).contains(&self.persistence));
+        let n = (horizon / self.sample_period).ceil() as usize;
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(n);
+        let mut ar = 0.0f64;
+        let mut spike_left = 0usize;
+        // Start the day at a random phase so hosts decorrelate.
+        let phase = rng.gen_range(0.0..self.day_length);
+        for i in 0..n {
+            let t = i as f64 * self.sample_period;
+            // Diurnal base: raised cosine peaking mid-"day".
+            let day_pos = ((t + phase) % self.day_length) / self.day_length;
+            let diurnal = self.peak_load * 0.5 * (1.0 - (std::f64::consts::TAU * day_pos).cos());
+            // AR(1) fluctuation.
+            let noise: f64 = rng.gen_range(-0.5..0.5);
+            ar = self.persistence * ar + noise;
+            // Heavy spikes with geometric duration.
+            if spike_left == 0 && rng.gen_bool(self.spike_prob.clamp(0.0, 1.0)) {
+                spike_left = rng.gen_range(10..60);
+            }
+            let spike = if spike_left > 0 {
+                spike_left -= 1;
+                3.0
+            } else {
+                0.0
+            };
+            let level = (diurnal + ar + spike).max(0.0).round();
+            points.push((t, level));
+        }
+        LoadTrace::from_timeline(Timeline::from_points(dedup_times(points)))
+    }
+}
+
+/// Collapses equal consecutive timestamps (defensive; Timeline rejects
+/// them) and equal-value runs are handled by Timeline itself.
+fn dedup_times(points: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+    for (t, v) in points {
+        match out.last() {
+            Some(&(last_t, _)) if t <= last_t => {}
+            _ => out.push((t, v)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use simkit::rng::rng;
+
+    #[test]
+    fn parse_round_trips_through_format() {
+        let text = "# comment\n0 0\n10.5 2\n20 1\n\n30 0\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.count_at(5.0), 0.0);
+        assert_eq!(trace.count_at(12.0), 2.0);
+        assert_eq!(trace.count_at(25.0), 1.0);
+        assert_eq!(trace.count_at(35.0), 0.0);
+        let back = parse_trace(&format_trace(&trace)).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("abc 1").unwrap_err().contains("timestamp"));
+        assert!(parse_trace("0 1\n0 2").unwrap_err().contains("increasing"));
+        assert!(parse_trace("0 -1").unwrap_err().contains("out of range"));
+        assert!(parse_trace("5 nan").is_err());
+    }
+
+    #[test]
+    fn late_start_is_padded_with_idle() {
+        let trace = parse_trace("100 3").unwrap();
+        assert_eq!(trace.count_at(50.0), 0.0);
+        assert_eq!(trace.count_at(150.0), 3.0);
+    }
+
+    #[test]
+    fn replay_window_rebases_to_zero() {
+        let archive = parse_trace("0 0\n100 2\n200 0").unwrap();
+        let rep = TraceReplayer::new(archive, 300.0);
+        let w = rep.window(50.0, 200.0);
+        // Archive: loaded on [100,200). Window [50,250) → loaded on
+        // [50,150) of the window.
+        assert_eq!(w.count_at(10.0), 0.0);
+        assert_eq!(w.count_at(100.0), 2.0);
+        assert_eq!(w.count_at(175.0), 0.0);
+    }
+
+    #[test]
+    fn replay_window_wraps_around_the_archive() {
+        let archive = parse_trace("0 1\n100 0").unwrap();
+        let rep = TraceReplayer::new(archive, 300.0);
+        // Start near the end: after 50 s the archive wraps to its loaded
+        // opening section.
+        let w = rep.window(250.0, 150.0);
+        assert_eq!(w.count_at(25.0), 0.0); // archive [250,300): idle
+        assert_eq!(w.count_at(75.0), 1.0); // wrapped to [0,100): loaded
+    }
+
+    #[test]
+    fn per_host_windows_differ() {
+        let archive = parse_trace("0 0\n100 1\n200 0").unwrap();
+        let rep = TraceReplayer::new(archive, 300.0);
+        let hosts = rep.per_host_windows(3, 100.0);
+        assert_eq!(hosts.len(), 3);
+        // Host 1's window starts at offset 100 → immediately loaded.
+        assert_eq!(hosts[1].count_at(1.0), 1.0);
+        assert_eq!(hosts[0].count_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn diurnal_generator_produces_daily_structure() {
+        let gen = DiurnalTraceGenerator {
+            day_length: 1000.0,
+            peak_load: 2.0,
+            persistence: 0.5,
+            spike_prob: 0.0,
+            sample_period: 10.0,
+        };
+        let trace = gen.generate(10_000.0, &mut rng(4));
+        let mean = stats::mean_count(&trace, 10_000.0);
+        // Raised cosine with peak 2.0 averages ~1.0 (noise averages 0).
+        assert!((0.4..1.6).contains(&mean), "mean load {mean}");
+        // And it is genuinely time-varying.
+        assert!(stats::transition_count(&trace, 10_000.0) > 50);
+    }
+
+    #[test]
+    fn diurnal_spikes_reach_high_load() {
+        let gen = DiurnalTraceGenerator {
+            day_length: 1000.0,
+            peak_load: 0.5,
+            persistence: 0.5,
+            spike_prob: 0.05,
+            sample_period: 10.0,
+        };
+        let trace = gen.generate(20_000.0, &mut rng(5));
+        assert!(
+            stats::peak_count(&trace, 20_000.0) >= 3.0,
+            "no spike materialized"
+        );
+    }
+
+    #[test]
+    fn diurnal_generator_is_seed_deterministic() {
+        let gen = DiurnalTraceGenerator::default();
+        let a = gen.generate(50_000.0, &mut rng(6));
+        let b = gen.generate(50_000.0, &mut rng(6));
+        assert_eq!(a, b);
+    }
+}

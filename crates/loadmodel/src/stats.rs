@@ -1,0 +1,190 @@
+//! Summary statistics of load traces.
+//!
+//! Used by the test suites to verify generators against their analytic
+//! moments, and by the experiment harness to report the dynamism actually
+//! realized in each run.
+
+use crate::trace::LoadTrace;
+use serde::{Deserialize, Serialize};
+
+/// Busy/idle sojourn statistics of a trace over `[0, horizon]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SojournStats {
+    /// Fraction of time with at least one competitor.
+    pub busy_fraction: f64,
+    /// Mean length of maximal busy periods, seconds.
+    pub mean_busy: f64,
+    /// Mean length of maximal idle periods, seconds.
+    pub mean_idle: f64,
+    /// Number of idle→busy transitions.
+    pub busy_periods: usize,
+}
+
+/// Computes busy/idle sojourn statistics for `trace` over `[0, horizon]`.
+pub fn sojourn_stats(trace: &LoadTrace, horizon: f64) -> SojournStats {
+    assert!(horizon > 0.0);
+    let mut busy_time = 0.0;
+    let mut busy_periods = 0usize;
+    let mut idle_periods = 0usize;
+    let mut prev_busy: Option<bool> = None;
+    for (lo, hi, v) in trace.counts().segments_in(0.0, horizon) {
+        let busy = v > 0.0;
+        if busy {
+            busy_time += hi - lo;
+        }
+        if prev_busy != Some(busy) {
+            if busy {
+                busy_periods += 1;
+            } else {
+                idle_periods += 1;
+            }
+            prev_busy = Some(busy);
+        }
+    }
+    SojournStats {
+        busy_fraction: busy_time / horizon,
+        mean_busy: if busy_periods == 0 {
+            0.0
+        } else {
+            busy_time / busy_periods as f64
+        },
+        mean_idle: if idle_periods == 0 {
+            0.0
+        } else {
+            (horizon - busy_time) / idle_periods as f64
+        },
+        busy_periods,
+    }
+}
+
+/// Mean competing-process count over `[0, horizon]`.
+pub fn mean_count(trace: &LoadTrace, horizon: f64) -> f64 {
+    assert!(horizon > 0.0);
+    trace.counts().integrate(0.0, horizon) / horizon
+}
+
+/// Peak competing-process count over `[0, horizon]`.
+pub fn peak_count(trace: &LoadTrace, horizon: f64) -> f64 {
+    trace
+        .counts()
+        .segments_in(0.0, horizon)
+        .map(|(_, _, v)| v)
+        .fold(0.0, f64::max)
+}
+
+/// Number of load-level changes in `[0, horizon]` — a direct dynamism
+/// measure ("the load changes dramatically during each application
+/// iteration").
+pub fn transition_count(trace: &LoadTrace, horizon: f64) -> usize {
+    trace
+        .counts()
+        .points()
+        .iter()
+        .filter(|&&(t, _)| t > 0.0 && t <= horizon)
+        .count()
+}
+
+/// Lag-`lag` autocorrelation of the competing-count signal, sampled at
+/// `period` over `[0, horizon]` — the quantitative "does load persist
+/// long enough for a measurement-driven policy to exploit?" measure (see
+/// DESIGN.md's dynamism-axis discussion).
+///
+/// Returns 0 for a constant signal (zero variance).
+///
+/// # Panics
+/// Panics unless `0 < period`, `lag ≥ 1` sample, and the horizon holds at
+/// least `lag + 2` samples.
+pub fn autocorrelation(trace: &LoadTrace, horizon: f64, period: f64, lag: f64) -> f64 {
+    assert!(period > 0.0 && horizon > 0.0 && lag >= period);
+    let n = (horizon / period).floor() as usize;
+    let k = (lag / period).round() as usize;
+    assert!(n > k + 1, "horizon too short for the requested lag");
+    let xs: Vec<f64> = (0..n).map(|i| trace.count_at(i as f64 * period)).collect();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov = (0..n - k)
+        .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+        .sum::<f64>()
+        / (n - k) as f64;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pulses() -> LoadTrace {
+        // busy [2,4) and [6,10)
+        LoadTrace::from_intervals([(2.0, 4.0), (6.0, 10.0)])
+    }
+
+    #[test]
+    fn busy_fraction_and_periods() {
+        let s = sojourn_stats(&two_pulses(), 12.0);
+        assert!((s.busy_fraction - 6.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.busy_periods, 2);
+        assert!((s.mean_busy - 3.0).abs() < 1e-12);
+        // idle: [0,2), [4,6), [10,12) → mean 2.0
+        assert!((s.mean_idle - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unloaded_trace_has_zero_busy() {
+        let s = sojourn_stats(&LoadTrace::unloaded(), 100.0);
+        assert_eq!(s.busy_fraction, 0.0);
+        assert_eq!(s.busy_periods, 0);
+        assert_eq!(s.mean_busy, 0.0);
+    }
+
+    #[test]
+    fn mean_and_peak_count() {
+        let t = LoadTrace::from_intervals([(0.0, 10.0), (5.0, 10.0)]);
+        assert!((mean_count(&t, 10.0) - 1.5).abs() < 1e-12);
+        assert_eq!(peak_count(&t, 10.0), 2.0);
+    }
+
+    #[test]
+    fn transition_count_counts_breakpoints() {
+        assert_eq!(transition_count(&two_pulses(), 12.0), 4);
+        assert_eq!(transition_count(&two_pulses(), 5.0), 2);
+        assert_eq!(transition_count(&LoadTrace::unloaded(), 5.0), 0);
+    }
+
+    #[test]
+    fn autocorrelation_detects_persistence() {
+        use crate::onoff::OnOffSource;
+        use simkit::rng::rng;
+        // Same duty cycle, very different timescales: the 30 s-step chain
+        // must be far more correlated at a 60 s lag than the 1 s-step one.
+        let horizon = 200_000.0;
+        let fast = OnOffSource::for_duty_cycle(0.5, 0.08, 1.0).generate(horizon, &mut rng(1));
+        let slow = OnOffSource::for_duty_cycle(0.5, 0.08, 30.0).generate(horizon, &mut rng(1));
+        let ac_fast = autocorrelation(&fast, horizon, 10.0, 60.0);
+        let ac_slow = autocorrelation(&slow, horizon, 10.0, 60.0);
+        assert!(
+            ac_slow > ac_fast + 0.3,
+            "slow-chain autocorr {ac_slow:.2} should exceed fast-chain {ac_fast:.2}"
+        );
+        assert!(ac_slow > 0.5, "375 s events must persist at 60 s lag");
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_signal_is_zero() {
+        assert_eq!(
+            autocorrelation(&LoadTrace::unloaded(), 1000.0, 1.0, 10.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn stats_clip_to_horizon() {
+        let t = LoadTrace::from_intervals([(2.0, 100.0)]);
+        let s = sojourn_stats(&t, 10.0);
+        assert!((s.busy_fraction - 0.8).abs() < 1e-12);
+        assert_eq!(s.busy_periods, 1);
+        assert!((s.mean_busy - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! The iterative-application contract.
+//!
+//! The paper targets "the broad class of iterative applications": a loop
+//! whose body computes and communicates, with all inter-iteration state
+//! registered for transfer. Implementing [`IterativeApp`] is the Rust
+//! equivalent of the paper's three-line retrofit: provide the initial
+//! state, the loop body, and (optionally) a convergence test.
+
+use crate::comm::SlotComm;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// An iterative MPI-style application runnable (and swappable) by the
+/// runtime.
+pub trait IterativeApp: Send + Sync + 'static {
+    /// The registered inter-iteration state (the `swap_register()`ed
+    /// variables). Must serialize — that is what a swap transfers.
+    type State: Serialize + DeserializeOwned + Send + 'static;
+
+    /// Builds slot `slot`'s initial state (of `n_slots` total).
+    fn init(&self, slot: usize, n_slots: usize) -> Self::State;
+
+    /// One iteration: compute on `state`, communicate through `comm`.
+    /// Called with the same `iter` on every slot (BSP lockstep).
+    fn iterate(&self, iter: usize, state: &mut Self::State, comm: &mut SlotComm);
+
+    /// Optional convergence test, checked after each iteration (the
+    /// runtime stops when every slot reports `true`, or at the configured
+    /// iteration cap, whichever is first).
+    fn converged(&self, _iter: usize, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testapps {
+    use super::*;
+    use serde::Deserialize;
+
+    /// Adds the slot's (slot+1) to a running allreduce'd sum each
+    /// iteration; final sum after I iterations = I × n(n+1)/2.
+    pub struct SumApp;
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    pub struct SumState {
+        pub total: f64,
+    }
+
+    impl IterativeApp for SumApp {
+        type State = SumState;
+
+        fn init(&self, _slot: usize, _n: usize) -> SumState {
+            SumState { total: 0.0 }
+        }
+
+        fn iterate(&self, _iter: usize, state: &mut SumState, comm: &mut SlotComm) {
+            let contribution = (comm.rank() + 1) as f64;
+            let sum = comm.allreduce(&contribution, |a, b| a + b);
+            state.total += sum;
+        }
+    }
+
+    /// Busy-work app with a tunable per-iteration compute cost, for load
+    /// and swap tests. The spin result is accumulated so the work cannot
+    /// be optimized away.
+    pub struct SpinApp {
+        pub spin_ms: u64,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    pub struct SpinState {
+        pub acc: f64,
+        pub iters_done: usize,
+    }
+
+    impl IterativeApp for SpinApp {
+        type State = SpinState;
+
+        fn init(&self, slot: usize, _n: usize) -> SpinState {
+            SpinState {
+                acc: slot as f64,
+                iters_done: 0,
+            }
+        }
+
+        fn iterate(&self, _iter: usize, state: &mut SpinState, comm: &mut SlotComm) {
+            let deadline =
+                std::time::Instant::now() + std::time::Duration::from_millis(self.spin_ms);
+            let mut x = state.acc;
+            while std::time::Instant::now() < deadline {
+                x = (x * 1.000001 + 1.0).rem_euclid(1e9);
+            }
+            state.acc = x;
+            state.iters_done += 1;
+            comm.barrier();
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! Ready-made iterative applications.
+//!
+//! The paper's validation used "a real-world particle dynamics code for
+//! which only 4 lines of the original source code were modified"; its
+//! target class is iterative data-parallel solvers. This module ships
+//! two representative members of that class, used by the examples and
+//! the integration tests:
+//!
+//! * [`JacobiApp`] — 1-D Jacobi relaxation of the heat equation with halo
+//!   exchange between neighbouring ranks;
+//! * [`ParticleApp`] — an all-pairs particle dynamics step with allgather
+//!   of positions (the classic replicated-data MD structure).
+//!
+//! Both keep all inter-iteration state in their serde-serializable state
+//! struct, so they are swappable without further changes — the
+//! "three-line retrofit" in trait form.
+
+use crate::app::IterativeApp;
+use crate::comm::SlotComm;
+use serde::{Deserialize, Serialize};
+
+/// Tags used by the demo applications (application tag space).
+const TAG_HALO_LEFT: u32 = 10;
+const TAG_HALO_RIGHT: u32 = 11;
+
+/// 1-D Jacobi relaxation: each rank owns a contiguous block of a rod,
+/// exchanges boundary cells with its neighbours every iteration, and
+/// relaxes `u[i] ← (u[i−1] + u[i+1]) / 2`.
+///
+/// Fixed boundary conditions: `u = 1` at the left end of the rod, `u = 0`
+/// at the right end.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobiApp {
+    /// Cells per rank.
+    pub cells_per_rank: usize,
+}
+
+/// Jacobi per-rank state (the registered variables).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JacobiState {
+    /// This rank's block of the rod.
+    pub u: Vec<f64>,
+    /// Iterations applied so far.
+    pub steps: usize,
+    /// Most recent local residual (max |Δu|).
+    pub residual: f64,
+}
+
+impl IterativeApp for JacobiApp {
+    type State = JacobiState;
+
+    fn init(&self, slot: usize, _n_slots: usize) -> JacobiState {
+        assert!(self.cells_per_rank >= 1);
+        let _ = slot;
+        JacobiState {
+            // Initial guess: zero everywhere; the hot boundary will
+            // diffuse rightwards.
+            u: vec![0.0; self.cells_per_rank],
+            steps: 0,
+            residual: f64::INFINITY,
+        }
+    }
+
+    fn iterate(&self, _iter: usize, state: &mut JacobiState, comm: &mut SlotComm) {
+        let rank = comm.rank();
+        let size = comm.size();
+        let m = state.u.len();
+
+        // Halo exchange: send boundary cells to neighbours.
+        if rank > 0 {
+            comm.send(rank - 1, TAG_HALO_LEFT, &state.u[0]);
+        }
+        if rank + 1 < size {
+            comm.send(rank + 1, TAG_HALO_RIGHT, &state.u[m - 1]);
+        }
+        let left: f64 = if rank == 0 {
+            1.0 // hot boundary
+        } else {
+            comm.recv(rank - 1, TAG_HALO_RIGHT)
+        };
+        let right: f64 = if rank + 1 == size {
+            0.0 // cold boundary
+        } else {
+            comm.recv(rank + 1, TAG_HALO_LEFT)
+        };
+
+        // Jacobi sweep into a fresh buffer.
+        let mut next = state.u.clone();
+        let mut residual = 0.0f64;
+        for i in 0..m {
+            let l = if i == 0 { left } else { state.u[i - 1] };
+            let r = if i + 1 == m { right } else { state.u[i + 1] };
+            next[i] = 0.5 * (l + r);
+            residual = residual.max((next[i] - state.u[i]).abs());
+        }
+        state.u = next;
+        state.steps += 1;
+        // Global residual so every rank agrees on convergence.
+        state.residual = comm.allreduce(&residual, f64::max);
+    }
+
+    fn converged(&self, _iter: usize, state: &JacobiState) -> bool {
+        state.residual < 1e-12
+    }
+}
+
+/// All-pairs particle dynamics with replicated positions: each rank owns
+/// a block of particles, allgathers every rank's positions each step,
+/// computes soft-sphere repulsion forces against all particles, and
+/// integrates its own block (velocity Verlet-lite, 1-D for clarity).
+#[derive(Clone, Copy, Debug)]
+pub struct ParticleApp {
+    /// Particles per rank.
+    pub particles_per_rank: usize,
+    /// Integration step.
+    pub dt: f64,
+}
+
+/// Particle per-rank state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParticleState {
+    /// Positions of this rank's particles.
+    pub x: Vec<f64>,
+    /// Velocities of this rank's particles.
+    pub v: Vec<f64>,
+    /// Steps taken.
+    pub steps: usize,
+    /// Total kinetic energy of the whole system after the last step.
+    pub kinetic: f64,
+}
+
+impl IterativeApp for ParticleApp {
+    type State = ParticleState;
+
+    fn init(&self, slot: usize, n_slots: usize) -> ParticleState {
+        assert!(self.particles_per_rank >= 1);
+        // Deterministic lattice with a slot-dependent offset; no RNG so
+        // swap-equivalence tests can compare states bitwise.
+        let n = self.particles_per_rank;
+        let x = (0..n)
+            .map(|i| (slot * n + i) as f64 + 0.25 * ((i % 3) as f64 - 1.0))
+            .collect();
+        let v = vec![0.0; n];
+        let _ = n_slots;
+        ParticleState {
+            x,
+            v,
+            steps: 0,
+            kinetic: 0.0,
+        }
+    }
+
+    fn iterate(&self, _iter: usize, state: &mut ParticleState, comm: &mut SlotComm) {
+        // Replicate all positions.
+        let all_blocks: Vec<Vec<f64>> = comm.allgather(&state.x);
+        let all: Vec<f64> = all_blocks.into_iter().flatten().collect();
+
+        // Soft-sphere repulsion: f(r) = (1 − |r|) for |r| < 1.
+        let n = state.x.len();
+        let mut force = vec![0.0f64; n];
+        for i in 0..n {
+            let xi = state.x[i];
+            for &xj in &all {
+                let r = xi - xj;
+                let d = r.abs();
+                if d > 0.0 && d < 1.0 {
+                    force[i] += r.signum() * (1.0 - d);
+                }
+            }
+        }
+        for i in 0..n {
+            state.v[i] += force[i] * self.dt;
+            state.x[i] += state.v[i] * self.dt;
+        }
+        state.steps += 1;
+
+        let local_ke: f64 = state.v.iter().map(|v| 0.5 * v * v).sum();
+        state.kinetic = comm.allreduce(&local_ke, |a, b| a + b);
+    }
+}
+
+/// 2-D Jacobi heat diffusion on a `rows × cols` grid, row-block
+/// decomposed: each rank owns `rows_per_rank` full rows and exchanges
+/// whole boundary *rows* (vectors, not scalars) with its neighbours each
+/// sweep. Boundary conditions: the top edge of the global grid is held
+/// at 1, all other edges at 0.
+#[derive(Clone, Copy, Debug)]
+pub struct Heat2dApp {
+    /// Grid rows owned by each rank.
+    pub rows_per_rank: usize,
+    /// Grid columns (global).
+    pub cols: usize,
+}
+
+/// 2-D heat per-rank state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Heat2dState {
+    /// Row-major block of `rows_per_rank × cols` cells.
+    pub u: Vec<f64>,
+    /// Sweeps applied.
+    pub steps: usize,
+    /// Global max |Δu| after the last sweep.
+    pub residual: f64,
+}
+
+impl IterativeApp for Heat2dApp {
+    type State = Heat2dState;
+
+    fn init(&self, _slot: usize, _n_slots: usize) -> Heat2dState {
+        assert!(self.rows_per_rank >= 1 && self.cols >= 1);
+        Heat2dState {
+            u: vec![0.0; self.rows_per_rank * self.cols],
+            steps: 0,
+            residual: f64::INFINITY,
+        }
+    }
+
+    fn iterate(&self, _iter: usize, state: &mut Heat2dState, comm: &mut SlotComm) {
+        const TAG_ROW_UP: u32 = 30;
+        const TAG_ROW_DOWN: u32 = 31;
+        let rank = comm.rank();
+        let size = comm.size();
+        let (m, c) = (self.rows_per_rank, self.cols);
+
+        // Exchange boundary rows (vectors).
+        if rank > 0 {
+            comm.send(rank - 1, TAG_ROW_UP, &state.u[0..c].to_vec());
+        }
+        if rank + 1 < size {
+            comm.send(rank + 1, TAG_ROW_DOWN, &state.u[(m - 1) * c..].to_vec());
+        }
+        let above: Vec<f64> = if rank == 0 {
+            vec![1.0; c] // hot top edge
+        } else {
+            comm.recv(rank - 1, TAG_ROW_DOWN)
+        };
+        let below: Vec<f64> = if rank + 1 == size {
+            vec![0.0; c]
+        } else {
+            comm.recv(rank + 1, TAG_ROW_UP)
+        };
+
+        let mut next = state.u.clone();
+        let mut residual = 0.0f64;
+        for i in 0..m {
+            for j in 0..c {
+                let up = if i == 0 {
+                    above[j]
+                } else {
+                    state.u[(i - 1) * c + j]
+                };
+                let down = if i + 1 == m {
+                    below[j]
+                } else {
+                    state.u[(i + 1) * c + j]
+                };
+                let left = if j == 0 { 0.0 } else { state.u[i * c + j - 1] };
+                let right = if j + 1 == c {
+                    0.0
+                } else {
+                    state.u[i * c + j + 1]
+                };
+                let v = 0.25 * (up + down + left + right);
+                residual = residual.max((v - state.u[i * c + j]).abs());
+                next[i * c + j] = v;
+            }
+        }
+        state.u = next;
+        state.steps += 1;
+        state.residual = comm.allreduce(&residual, f64::max);
+    }
+
+    fn converged(&self, _iter: usize, state: &Heat2dState) -> bool {
+        state.residual < 1e-12
+    }
+}
+
+/// Distributed conjugate gradient on the 1-D Laplacian (tridiagonal
+/// `[-1, 2, -1]`) with right-hand side `b = 1`: the classic
+/// allreduce-heavy iterative solver. Each rank owns a contiguous block of
+/// rows; the matrix-vector product needs one halo exchange, and the two
+/// inner products need allreduces — three synchronization points per
+/// iteration, all of which a swap must survive.
+#[derive(Clone, Copy, Debug)]
+pub struct CgApp {
+    /// Rows per rank.
+    pub rows_per_rank: usize,
+    /// Stop when the squared residual norm falls below this.
+    pub tol2: f64,
+}
+
+/// CG per-rank state (every vector of the classic iteration).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CgState {
+    /// Current solution block.
+    pub x: Vec<f64>,
+    /// Residual block.
+    pub r: Vec<f64>,
+    /// Search-direction block.
+    pub p: Vec<f64>,
+    /// Global squared residual norm after the last step.
+    pub rr: f64,
+    /// Steps taken.
+    pub steps: usize,
+}
+
+impl CgApp {
+    /// Halo-exchanged tridiagonal matvec: `out = A·p` for this rank's
+    /// block.
+    fn matvec(&self, p_local: &[f64], comm: &mut SlotComm) -> Vec<f64> {
+        const TAG_CG_LEFT: u32 = 20;
+        const TAG_CG_RIGHT: u32 = 21;
+        let rank = comm.rank();
+        let size = comm.size();
+        let m = p_local.len();
+        if rank > 0 {
+            comm.send(rank - 1, TAG_CG_LEFT, &p_local[0]);
+        }
+        if rank + 1 < size {
+            comm.send(rank + 1, TAG_CG_RIGHT, &p_local[m - 1]);
+        }
+        let left: f64 = if rank == 0 {
+            0.0
+        } else {
+            comm.recv(rank - 1, TAG_CG_RIGHT)
+        };
+        let right: f64 = if rank + 1 == size {
+            0.0
+        } else {
+            comm.recv(rank + 1, TAG_CG_LEFT)
+        };
+        (0..m)
+            .map(|i| {
+                let l = if i == 0 { left } else { p_local[i - 1] };
+                let r = if i + 1 == m { right } else { p_local[i + 1] };
+                2.0 * p_local[i] - l - r
+            })
+            .collect()
+    }
+}
+
+impl IterativeApp for CgApp {
+    type State = CgState;
+
+    fn init(&self, _slot: usize, _n_slots: usize) -> CgState {
+        assert!(self.rows_per_rank >= 1);
+        let m = self.rows_per_rank;
+        // x₀ = 0 ⇒ r₀ = p₀ = b = 1.
+        CgState {
+            x: vec![0.0; m],
+            r: vec![1.0; m],
+            p: vec![1.0; m],
+            rr: f64::INFINITY,
+            steps: 0,
+        }
+    }
+
+    fn iterate(&self, _iter: usize, state: &mut CgState, comm: &mut SlotComm) {
+        let m = state.x.len();
+        let rr_old_local: f64 = state.r.iter().map(|v| v * v).sum();
+        let rr_old = comm.allreduce(&rr_old_local, |a, b| a + b);
+
+        let ap = self.matvec(&state.p, comm);
+        let pap_local: f64 = state.p.iter().zip(&ap).map(|(p, a)| p * a).sum();
+        let pap = comm.allreduce(&pap_local, |a, b| a + b);
+        // A is SPD; pAp = 0 only when p = 0, i.e. already converged.
+        let alpha = if pap > 0.0 { rr_old / pap } else { 0.0 };
+
+        for i in 0..m {
+            state.x[i] += alpha * state.p[i];
+            state.r[i] -= alpha * ap[i];
+        }
+        let rr_new_local: f64 = state.r.iter().map(|v| v * v).sum();
+        let rr_new = comm.allreduce(&rr_new_local, |a, b| a + b);
+        let beta = if rr_old > 0.0 { rr_new / rr_old } else { 0.0 };
+        for i in 0..m {
+            state.p[i] = state.r[i] + beta * state.p[i];
+        }
+        state.rr = rr_new;
+        state.steps += 1;
+    }
+
+    fn converged(&self, _iter: usize, state: &CgState) -> bool {
+        state.rr < self.tol2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run_iterative, Decider, RuntimeConfig};
+
+    /// Serial Jacobi reference for a rod of `total` cells, `steps`
+    /// sweeps, boundaries (1, 0).
+    fn jacobi_serial(total: usize, steps: usize) -> Vec<f64> {
+        let mut u = vec![0.0f64; total];
+        for _ in 0..steps {
+            let mut next = u.clone();
+            for i in 0..total {
+                let l = if i == 0 { 1.0 } else { u[i - 1] };
+                let r = if i + 1 == total { 0.0 } else { u[i + 1] };
+                next[i] = 0.5 * (l + r);
+            }
+            u = next;
+        }
+        u
+    }
+
+    fn flatten(states: Vec<JacobiState>) -> Vec<f64> {
+        states.into_iter().flat_map(|s| s.u).collect()
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_serial() {
+        let app = JacobiApp { cells_per_rank: 8 };
+        let report = run_iterative(RuntimeConfig::new(3, 3, 20), app);
+        let parallel = flatten(report.final_states);
+        let serial = jacobi_serial(24, 20);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert!((p - s).abs() < 1e-13, "parallel {p} vs serial {s}");
+        }
+    }
+
+    #[test]
+    fn jacobi_is_bitwise_identical_under_forced_swaps() {
+        let app = JacobiApp { cells_per_rank: 6 };
+        let baseline = run_iterative(RuntimeConfig::new(2, 2, 15), app);
+        let mut cfg = RuntimeConfig::new(4, 2, 15);
+        cfg.decider = Decider::ForceEvery(1);
+        let swapped = run_iterative(cfg, app);
+        assert!(swapped.swap_count() >= 10);
+        assert_eq!(
+            baseline.final_states, swapped.final_states,
+            "swapping changed the numerics"
+        );
+    }
+
+    #[test]
+    fn jacobi_converges_to_the_linear_profile() {
+        // Steady state of the discrete Laplace problem is the linear
+        // interpolation between the boundaries.
+        let app = JacobiApp { cells_per_rank: 4 };
+        let report = run_iterative(RuntimeConfig::new(2, 2, 5000), app);
+        let u = flatten(report.final_states);
+        let total = u.len();
+        for (i, &v) in u.iter().enumerate() {
+            let expect = 1.0 - (i as f64 + 1.0) / (total as f64 + 1.0);
+            assert!(
+                (v - expect).abs() < 1e-6,
+                "cell {i}: {v} vs linear {expect}"
+            );
+        }
+        assert!(
+            report.iterations_run < 5000,
+            "convergence check never fired"
+        );
+    }
+
+    #[test]
+    fn particles_conserve_count_and_accumulate_energy() {
+        let app = ParticleApp {
+            particles_per_rank: 4,
+            dt: 0.01,
+        };
+        let report = run_iterative(RuntimeConfig::new(2, 2, 30), app);
+        assert_eq!(report.final_states.len(), 2);
+        for s in &report.final_states {
+            assert_eq!(s.x.len(), 4);
+            assert_eq!(s.steps, 30);
+        }
+        // Particles start overlapping (lattice offsets < 1 apart), so the
+        // repulsion must inject kinetic energy.
+        assert!(report.final_states[0].kinetic > 0.0);
+    }
+
+    #[test]
+    fn particles_identical_under_forced_swaps() {
+        let app = ParticleApp {
+            particles_per_rank: 3,
+            dt: 0.02,
+        };
+        let baseline = run_iterative(RuntimeConfig::new(2, 2, 12), app);
+        let mut cfg = RuntimeConfig::new(5, 2, 12);
+        cfg.decider = Decider::ForceEvery(2);
+        let swapped = run_iterative(cfg, app);
+        assert!(swapped.swap_count() >= 4);
+        assert_eq!(baseline.final_states, swapped.final_states);
+    }
+
+    /// Serial 2-D Jacobi reference: `rows × cols` grid, hot top edge.
+    fn heat2d_serial(rows: usize, cols: usize, steps: usize) -> Vec<f64> {
+        let mut u = vec![0.0f64; rows * cols];
+        for _ in 0..steps {
+            let mut next = u.clone();
+            for i in 0..rows {
+                for j in 0..cols {
+                    let up = if i == 0 { 1.0 } else { u[(i - 1) * cols + j] };
+                    let down = if i + 1 == rows {
+                        0.0
+                    } else {
+                        u[(i + 1) * cols + j]
+                    };
+                    let left = if j == 0 { 0.0 } else { u[i * cols + j - 1] };
+                    let right = if j + 1 == cols {
+                        0.0
+                    } else {
+                        u[i * cols + j + 1]
+                    };
+                    next[i * cols + j] = 0.25 * (up + down + left + right);
+                }
+            }
+            u = next;
+        }
+        u
+    }
+
+    #[test]
+    fn parallel_heat2d_matches_serial() {
+        let app = Heat2dApp {
+            rows_per_rank: 4,
+            cols: 6,
+        };
+        let report = run_iterative(RuntimeConfig::new(3, 3, 15), app);
+        let parallel: Vec<f64> = report
+            .final_states
+            .iter()
+            .flat_map(|s| s.u.clone())
+            .collect();
+        let serial = heat2d_serial(12, 6, 15);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert!((p - s).abs() < 1e-13, "parallel {p} vs serial {s}");
+        }
+    }
+
+    #[test]
+    fn heat2d_identical_under_forced_swaps() {
+        let app = Heat2dApp {
+            rows_per_rank: 3,
+            cols: 5,
+        };
+        let baseline = run_iterative(RuntimeConfig::new(2, 2, 12), app);
+        let mut cfg = RuntimeConfig::new(5, 2, 12);
+        cfg.decider = Decider::ForceEvery(1);
+        let swapped = run_iterative(cfg, app);
+        assert!(swapped.swap_count() >= 10);
+        assert_eq!(baseline.final_states, swapped.final_states);
+    }
+
+    #[test]
+    fn heat2d_heat_flows_downward() {
+        let app = Heat2dApp {
+            rows_per_rank: 4,
+            cols: 4,
+        };
+        let report = run_iterative(RuntimeConfig::new(2, 2, 200), app);
+        let u: Vec<f64> = report
+            .final_states
+            .iter()
+            .flat_map(|s| s.u.clone())
+            .collect();
+        // Row means must decrease monotonically away from the hot edge.
+        let row_mean = |r: usize| -> f64 { u[r * 4..(r + 1) * 4].iter().sum::<f64>() / 4.0 };
+        for r in 0..7 {
+            assert!(
+                row_mean(r) > row_mean(r + 1),
+                "row {r} mean {} <= row {} mean {}",
+                row_mean(r),
+                r + 1,
+                row_mean(r + 1)
+            );
+        }
+        assert!(row_mean(0) > 0.3 && row_mean(7) < 0.2);
+    }
+
+    /// Serial CG reference on the tridiagonal Laplacian, b = 1.
+    fn cg_serial(n: usize, steps: usize) -> Vec<f64> {
+        let matvec = |p: &[f64]| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let l = if i == 0 { 0.0 } else { p[i - 1] };
+                    let r = if i + 1 == n { 0.0 } else { p[i + 1] };
+                    2.0 * p[i] - l - r
+                })
+                .collect()
+        };
+        let mut x = vec![0.0f64; n];
+        let mut r = vec![1.0f64; n];
+        let mut p = r.clone();
+        for _ in 0..steps {
+            let rr_old: f64 = r.iter().map(|v| v * v).sum();
+            let ap = matvec(&p);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            let alpha = if pap > 0.0 { rr_old / pap } else { 0.0 };
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rr_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = if rr_old > 0.0 { rr_new / rr_old } else { 0.0 };
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn parallel_cg_matches_serial() {
+        let app = CgApp {
+            rows_per_rank: 7,
+            tol2: 0.0, // run to the iteration cap
+        };
+        let report = run_iterative(RuntimeConfig::new(3, 3, 9), app);
+        let parallel: Vec<f64> = report
+            .final_states
+            .iter()
+            .flat_map(|s| s.x.clone())
+            .collect();
+        let serial = cg_serial(21, 9);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert!((p - s).abs() < 1e-10, "parallel {p} vs serial {s}");
+        }
+    }
+
+    #[test]
+    fn cg_converges_to_the_exact_solution() {
+        // CG on an n×n SPD system converges in ≤ n steps exactly; the
+        // convergence check should stop it well before the cap.
+        let app = CgApp {
+            rows_per_rank: 8,
+            tol2: 1e-20,
+        };
+        let report = run_iterative(RuntimeConfig::new(2, 2, 100), app);
+        assert!(
+            report.iterations_run <= 16,
+            "CG needed {} steps for a 16-row system",
+            report.iterations_run
+        );
+        // Verify A·x = b on the assembled solution.
+        let x: Vec<f64> = report
+            .final_states
+            .iter()
+            .flat_map(|s| s.x.clone())
+            .collect();
+        let n = x.len();
+        for i in 0..n {
+            let l = if i == 0 { 0.0 } else { x[i - 1] };
+            let r = if i + 1 == n { 0.0 } else { x[i + 1] };
+            let ax = 2.0 * x[i] - l - r;
+            assert!((ax - 1.0).abs() < 1e-8, "row {i}: Ax = {ax}");
+        }
+    }
+
+    #[test]
+    fn cg_is_bitwise_identical_under_forced_swaps() {
+        let app = CgApp {
+            rows_per_rank: 5,
+            tol2: 0.0,
+        };
+        let baseline = run_iterative(RuntimeConfig::new(2, 2, 8), app);
+        let mut cfg = RuntimeConfig::new(5, 2, 8);
+        cfg.decider = Decider::ForceEvery(1);
+        let swapped = run_iterative(cfg, app);
+        assert!(swapped.swap_count() >= 6);
+        assert_eq!(baseline.final_states, swapped.final_states);
+    }
+
+    #[test]
+    fn particle_dynamics_is_symmetric_for_symmetric_input() {
+        // Two ranks, mirrored lattices → total momentum stays ~0.
+        let app = ParticleApp {
+            particles_per_rank: 5,
+            dt: 0.01,
+        };
+        let report = run_iterative(RuntimeConfig::new(2, 2, 25), app);
+        let p_total: f64 = report.final_states.iter().flat_map(|s| s.v.iter()).sum();
+        // Pairwise antisymmetric forces conserve momentum exactly
+        // (up to float summation order).
+        assert!(p_total.abs() < 1e-9, "net momentum {p_total}");
+    }
+}

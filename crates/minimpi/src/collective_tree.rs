@@ -1,0 +1,235 @@
+//! Logarithmic collective algorithms.
+//!
+//! The naive rooted collectives in [`crate::collective`] are `O(P)`
+//! messages through the root; these are the standard `O(log P)`-round
+//! algorithms real MPI implementations use (binomial trees for
+//! broadcast/reduce, dissemination for barrier). Each call consumes one
+//! collective tag; within a call, rounds are disambiguated by the sender
+//! rank (every rank receives from a distinct partner per round).
+
+use crate::comm::SlotComm;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+impl SlotComm {
+    /// Binomial-tree broadcast from `root`: `⌈log₂ P⌉` rounds, each rank
+    /// sends/receives at most once per round.
+    pub fn broadcast_tree<T: Serialize + DeserializeOwned + Clone>(
+        &mut self,
+        root: usize,
+        value: &T,
+    ) -> T {
+        let size = self.size();
+        let me = self.rank();
+        let tag = self.next_coll_tag();
+        // Work in a rotated space where the root is rank 0.
+        let vrank = (me + size - root) % size;
+
+        let mut have: Option<T> = (vrank == 0).then(|| value.clone());
+        // Round k: ranks with vrank < 2^k and vrank + 2^k < size send to
+        // vrank + 2^k.
+        let mut step = 1;
+        while step < size {
+            if vrank < step {
+                let peer = vrank + step;
+                if peer < size {
+                    let dest = (peer + root) % size;
+                    let v = have.as_ref().expect("sender holds the value");
+                    self.send_internal(dest, tag, v);
+                }
+            } else if vrank < 2 * step && have.is_none() {
+                let src = ((vrank - step) + root) % size;
+                let msg = self.recv_raw(src, tag);
+                have = Some(msg.decode());
+            }
+            step *= 2;
+        }
+        have.expect("every rank is reached by the binomial tree")
+    }
+
+    /// Binomial-tree reduction to `root` with associative `op` (no
+    /// commutativity is assumed beyond fold order differences — see the
+    /// note on [`SlotComm::allreduce_tree`]). Non-roots receive `None`.
+    pub fn reduce_tree<T, F>(&mut self, root: usize, value: &T, op: F) -> Option<T>
+    where
+        T: Serialize + DeserializeOwned + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let size = self.size();
+        let me = self.rank();
+        let tag = self.next_coll_tag();
+        let vrank = (me + size - root) % size;
+
+        let mut acc = value.clone();
+        let mut step = 1;
+        while step < size {
+            if vrank % (2 * step) == 0 {
+                let peer = vrank + step;
+                if peer < size {
+                    let src = (peer + root) % size;
+                    let msg = self.recv_raw(src, tag);
+                    acc = op(acc, msg.decode());
+                }
+            } else if vrank % (2 * step) == step {
+                let dest = ((vrank - step) + root) % size;
+                self.send_internal(dest, tag, &acc);
+                // Sent upstream: done participating.
+                // Consume the remaining rounds' step growth and exit.
+                return None;
+            }
+            step *= 2;
+        }
+        (vrank == 0).then_some(acc)
+    }
+
+    /// Tree allreduce = tree reduce to 0, then tree broadcast. The fold
+    /// order differs from the naive rank-order fold, so for
+    /// non-commutative or non-associative (floating-point!) operators the
+    /// result may differ in the last ULPs from [`SlotComm::allreduce`] —
+    /// just like real MPI, which fixes the reduction order per algorithm,
+    /// not per API.
+    pub fn allreduce_tree<T, F>(&mut self, value: &T, op: F) -> T
+    where
+        T: Serialize + DeserializeOwned + Clone,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce_tree(0, value, op);
+        match reduced {
+            Some(r) => self.broadcast_tree(0, &r),
+            None => {
+                let placeholder = value.clone();
+                self.broadcast_tree(0, &placeholder)
+            }
+        }
+    }
+
+    /// Dissemination barrier: `⌈log₂ P⌉` rounds; in round `k` every rank
+    /// signals `(rank + 2^k) mod P` and waits for `(rank − 2^k) mod P`.
+    pub fn barrier_dissemination(&mut self) {
+        let size = self.size();
+        let me = self.rank();
+        let tag = self.next_coll_tag();
+        let mut step = 1;
+        while step < size {
+            let to = (me + step) % size;
+            let from = (me + size - step) % size;
+            self.send_internal(to, tag, &0u8);
+            let _ = self.recv_raw(from, tag);
+            step *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::{Router, SlotComm};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn with_comm<R: Send + 'static>(
+        n: usize,
+        f: impl Fn(usize, &mut SlotComm) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let (router, rxs) = Router::new(n);
+        let f = Arc::new(f);
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(slot, rx)| {
+                let router = router.clone();
+                let f = Arc::clone(&f);
+                thread::spawn(move || {
+                    let mut comm = SlotComm::new(slot, router, rx);
+                    f(slot, &mut comm)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn tree_broadcast_matches_naive_for_all_roots_and_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8] {
+            for root in 0..n {
+                let out = with_comm(n, move |rank, comm| {
+                    let v = if rank == root { rank as u64 + 100 } else { 0 };
+                    comm.broadcast_tree(root, &v)
+                });
+                assert_eq!(out, vec![root as u64 + 100; n], "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_sums_correctly_for_all_roots() {
+        for n in [1usize, 2, 3, 5, 6, 8] {
+            for root in 0..n {
+                let out = with_comm(n, move |rank, comm| {
+                    comm.reduce_tree(root, &(rank as u64 + 1), |a, b| a + b)
+                });
+                let expected: u64 = (1..=n as u64).sum();
+                for (rank, v) in out.into_iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(v, Some(expected), "n={n} root={root}");
+                    } else {
+                        assert_eq!(v, None, "n={n} root={root} rank={rank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_allreduce_matches_naive_on_integers() {
+        for n in [2usize, 4, 6, 7] {
+            let out = with_comm(n, |rank, comm| {
+                let tree = comm.allreduce_tree(&(rank as i64), i64::max);
+                let naive = comm.allreduce(&(rank as i64), i64::max);
+                (tree, naive)
+            });
+            for (tree, naive) in out {
+                assert_eq!(tree, naive);
+                assert_eq!(tree, (n - 1) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_barrier_completes_repeatedly() {
+        let out = with_comm(6, |rank, comm| {
+            for _ in 0..25 {
+                comm.barrier_dissemination();
+            }
+            rank
+        });
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn mixed_tree_and_naive_collectives_stay_ordered() {
+        // Alternate algorithms call-by-call; the shared sequence counter
+        // must keep every rendezvous distinct.
+        let out = with_comm(4, |rank, comm| {
+            let a = comm.broadcast_tree(0, &(rank == 0).then_some(7u8).unwrap_or(0));
+            let b = comm.broadcast(1, &(rank == 1).then_some(8u8).unwrap_or(0));
+            let c = comm.allreduce_tree(&1u32, |x, y| x + y);
+            let d = comm.allreduce(&1u32, |x, y| x + y);
+            comm.barrier_dissemination();
+            (a, b, c, d)
+        });
+        for v in out {
+            assert_eq!(v, (7, 8, 4, 4));
+        }
+    }
+
+    #[test]
+    fn tree_collectives_on_single_rank() {
+        let out = with_comm(1, |_rank, comm| {
+            let b = comm.broadcast_tree(0, &42u8);
+            let r = comm.allreduce_tree(&5u32, |a, b| a + b);
+            comm.barrier_dissemination();
+            (b, r)
+        });
+        assert_eq!(out[0], (42, 5));
+    }
+}

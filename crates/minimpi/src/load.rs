@@ -1,0 +1,128 @@
+//! Synthetic load injection.
+//!
+//! The simulator models time-sharing as a `1/(1+k)` slowdown; the live
+//! runtime reproduces the same effect physically: after a worker spends
+//! `d` seconds of pure computation, the injector makes it sleep an extra
+//! `k·d` seconds, where `k` is the competing-process count of its load
+//! trace at the current (virtual) time. A time-compression factor maps
+//! wall-clock seconds to trace seconds so that tests and examples can
+//! replay multi-hour traces in milliseconds.
+
+use loadmodel::LoadTrace;
+use std::time::{Duration, Instant};
+
+/// Per-worker load injector.
+#[derive(Clone, Debug)]
+pub struct LoadInjector {
+    trace: LoadTrace,
+    start: Instant,
+    /// Trace (virtual) seconds per wall-clock second.
+    compression: f64,
+}
+
+impl LoadInjector {
+    /// Creates an injector replaying `trace` from now, with the given
+    /// time compression (virtual seconds per wall second).
+    ///
+    /// # Panics
+    /// Panics if `compression` is not strictly positive.
+    pub fn new(trace: LoadTrace, compression: f64) -> Self {
+        assert!(
+            compression > 0.0 && compression.is_finite(),
+            "compression must be positive"
+        );
+        LoadInjector {
+            trace,
+            start: Instant::now(),
+            compression,
+        }
+    }
+
+    /// An injector that never slows anything down.
+    pub fn unloaded() -> Self {
+        LoadInjector::new(LoadTrace::unloaded(), 1.0)
+    }
+
+    /// Re-bases the virtual clock to "now" (used when workers start at
+    /// different wall times but should share a trace origin).
+    pub fn rebase(&mut self, origin: Instant) {
+        self.start = origin;
+    }
+
+    /// Current virtual time, trace seconds.
+    pub fn virtual_now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * self.compression
+    }
+
+    /// Competing-process count at the current virtual time.
+    pub fn competitors_now(&self) -> f64 {
+        self.trace.count_at(self.virtual_now())
+    }
+
+    /// Availability fraction `1/(1+k)` at the current virtual time — what
+    /// a swap-handler probe reports for a spare processor.
+    pub fn availability_now(&self) -> f64 {
+        1.0 / (1.0 + self.competitors_now())
+    }
+
+    /// The time-compression factor.
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Applies the time-sharing penalty for `pure` seconds of computation:
+    /// sleeps `k × pure` where `k` is the current competitor count.
+    pub fn throttle(&self, pure: Duration) {
+        let k = self.competitors_now();
+        if k > 0.0 {
+            std::thread::sleep(pure.mul_f64(k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loadmodel::LoadTrace;
+
+    #[test]
+    fn unloaded_injector_does_not_sleep() {
+        let inj = LoadInjector::unloaded();
+        let t0 = Instant::now();
+        inj.throttle(Duration::from_millis(50));
+        assert!(t0.elapsed() < Duration::from_millis(10));
+        assert_eq!(inj.availability_now(), 1.0);
+    }
+
+    #[test]
+    fn loaded_injector_sleeps_proportionally() {
+        // Permanently loaded with one competitor.
+        let trace = LoadTrace::from_intervals([(0.0, 1e9)]);
+        let inj = LoadInjector::new(trace, 1.0);
+        assert_eq!(inj.competitors_now(), 1.0);
+        assert_eq!(inj.availability_now(), 0.5);
+        let t0 = Instant::now();
+        inj.throttle(Duration::from_millis(20));
+        let slept = t0.elapsed();
+        assert!(
+            slept >= Duration::from_millis(18),
+            "slept only {slept:?} for a 20 ms penalty"
+        );
+    }
+
+    #[test]
+    fn compression_scales_virtual_time() {
+        let trace = LoadTrace::from_intervals([(100.0, 200.0)]);
+        let inj = LoadInjector::new(trace, 1e6); // 1 µs wall = 1 s virtual
+        std::thread::sleep(Duration::from_millis(1)); // ≥1000 virtual s
+        assert!(inj.virtual_now() >= 1000.0);
+        // Past the load interval by now.
+        assert_eq!(inj.competitors_now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_compression() {
+        LoadInjector::new(LoadTrace::unloaded(), 0.0);
+    }
+}

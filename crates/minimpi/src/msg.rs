@@ -1,0 +1,65 @@
+//! Message envelope and tag space.
+
+use serde::{Deserialize, Serialize};
+
+/// A message tag. The upper tag range is reserved for collectives.
+pub type Tag = u32;
+
+/// First tag reserved for internal (collective) traffic; applications
+/// must use tags below this.
+pub const RESERVED_TAG_BASE: Tag = 0x8000_0000;
+
+/// A routed message: sender slot, tag, serialized payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Msg {
+    /// Logical sender slot (rank in the active communicator).
+    pub from: usize,
+    /// Application or collective tag.
+    pub tag: Tag,
+    /// serde_json-encoded payload.
+    pub bytes: Vec<u8>,
+}
+
+impl Msg {
+    /// Encodes a value into a message.
+    ///
+    /// # Panics
+    /// Panics if serialization fails (programming error in payload type).
+    pub fn encode<T: Serialize>(from: usize, tag: Tag, value: &T) -> Self {
+        Msg {
+            from,
+            tag,
+            bytes: serde_json::to_vec(value).expect("payload must serialize"),
+        }
+    }
+
+    /// Decodes the payload.
+    ///
+    /// # Panics
+    /// Panics if the payload does not deserialize as `T` (type confusion
+    /// between sender and receiver — a protocol bug).
+    pub fn decode<T: for<'de> Deserialize<'de>>(&self) -> T {
+        serde_json::from_slice(&self.bytes).expect("payload must deserialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = Msg::encode(3, 7, &vec![1.5f64, 2.5]);
+        assert_eq!(m.from, 3);
+        assert_eq!(m.tag, 7);
+        let v: Vec<f64> = m.decode();
+        assert_eq!(v, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deserialize")]
+    fn type_confusion_panics() {
+        let m = Msg::encode(0, 0, &"text");
+        let _: u64 = m.decode();
+    }
+}

@@ -1,0 +1,133 @@
+//! Registered application state — the `swap_register()` analogue.
+//!
+//! "The user must register static variables that need to be saved and
+//! communicated when a swap occurs. This is done via a series of calls to
+//! the swap_register() function."
+//!
+//! A [`Registry`] is a name→value store of serialized cells. An
+//! application that keeps its inter-iteration state in a `Registry` (or
+//! in any serde-serializable struct) is swappable: the runtime moves the
+//! bytes, the destination worker picks up exactly where the source left
+//! off.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of named, serialized state cells.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Registry {
+    cells: BTreeMap<String, Vec<u8>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) a cell — the `swap_register()` call.
+    ///
+    /// # Panics
+    /// Panics if the value fails to serialize.
+    pub fn register<T: Serialize>(&mut self, name: &str, value: &T) {
+        self.cells.insert(
+            name.to_owned(),
+            serde_json::to_vec(value).expect("state must serialize"),
+        );
+    }
+
+    /// Reads a cell.
+    ///
+    /// Returns `None` if the name is unknown.
+    ///
+    /// # Panics
+    /// Panics if the cell exists but does not deserialize as `T`.
+    pub fn get<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
+        self.cells
+            .get(name)
+            .map(|bytes| serde_json::from_slice(bytes).expect("state must deserialize"))
+    }
+
+    /// Updates a cell in place: reads, applies `f`, writes back.
+    ///
+    /// # Panics
+    /// Panics if the cell is missing.
+    pub fn update<T: Serialize + DeserializeOwned>(&mut self, name: &str, f: impl FnOnce(T) -> T) {
+        let v: T = self
+            .get(name)
+            .unwrap_or_else(|| panic!("no registered cell '{name}'"));
+        self.register(name, &f(v));
+    }
+
+    /// Registered cell names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.cells.keys().map(String::as_str).collect()
+    }
+
+    /// Total serialized size of all cells, bytes — what a swap transfers.
+    pub fn size_bytes(&self) -> usize {
+        self.cells.values().map(Vec::len).sum()
+    }
+
+    /// Number of registered cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get_round_trip() {
+        let mut r = Registry::new();
+        r.register("x", &vec![1.0f64, 2.0]);
+        r.register("iter", &42usize);
+        assert_eq!(r.get::<Vec<f64>>("x"), Some(vec![1.0, 2.0]));
+        assert_eq!(r.get::<usize>("iter"), Some(42));
+        assert_eq!(r.get::<u8>("missing"), None);
+    }
+
+    #[test]
+    fn update_applies_function() {
+        let mut r = Registry::new();
+        r.register("count", &10u32);
+        r.update("count", |c: u32| c + 5);
+        assert_eq!(r.get::<u32>("count"), Some(15));
+    }
+
+    #[test]
+    fn registry_survives_serialization() {
+        let mut r = Registry::new();
+        r.register("a", &1u8);
+        r.register("b", &"hello");
+        let bytes = serde_json::to_vec(&r).unwrap();
+        let back: Registry = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.get::<String>("b").unwrap(), "hello");
+    }
+
+    #[test]
+    fn names_are_sorted_and_sizes_counted() {
+        let mut r = Registry::new();
+        r.register("zz", &0u8);
+        r.register("aa", &0u8);
+        assert_eq!(r.names(), vec!["aa", "zz"]);
+        assert!(r.size_bytes() > 0);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered cell")]
+    fn update_missing_cell_panics() {
+        Registry::new().update("nope", |c: u8| c);
+    }
+}

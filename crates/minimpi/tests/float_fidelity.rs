@@ -1,0 +1,46 @@
+//! Regression test: values crossing the runtime's serialization boundary
+//! (collectives, swap state transfer) must round-trip f64 *bitwise*.
+//!
+//! Without serde_json's `float_roundtrip` feature, parsing is fast but
+//! can be off by one ULP — which once produced a phantom self-interaction
+//! in the particle-dynamics app (a particle saw its own allgathered
+//! position at distance 1 ULP and felt a unit repulsion force).
+
+use minimpi::msg::Msg;
+
+#[test]
+fn json_round_trip_is_bitwise_exact_for_adversarial_f64() {
+    // Values with long mantissas where imprecise parsing bites.
+    let adversarial = [
+        2.7571664590853358_f64,
+        0.1 + 0.2,
+        1.0 / 3.0,
+        f64::MIN_POSITIVE,
+        1e-300,
+        1.7976931348623157e308,
+        -2.2250738585072014e-308, // the infamous slow-parse value
+        std::f64::consts::PI,
+        4503599627370497.0, // 2^52 + 1
+    ];
+    for &v in &adversarial {
+        let m = Msg::encode(0, 1, &v);
+        let back: f64 = m.decode();
+        assert_eq!(
+            back.to_bits(),
+            v.to_bits(),
+            "value {v:?} did not round-trip bitwise"
+        );
+    }
+}
+
+#[test]
+fn vectors_of_floats_round_trip_bitwise() {
+    let xs: Vec<f64> = (0..1000)
+        .map(|i| (i as f64 * 0.7310588).sin() * 10f64.powi((i % 60) as i32 - 30))
+        .collect();
+    let m = Msg::encode(0, 2, &xs);
+    let back: Vec<f64> = m.decode();
+    for (a, b) in xs.iter().zip(&back) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,223 @@
+//! Discrete-event engine.
+//!
+//! [`Engine`] drives closures scheduled on the simulated clock. It is the
+//! minimal core a SimGrid-style study needs: deterministic ordering, a
+//! monotone clock, and re-entrant scheduling (handlers may schedule more
+//! events, including at the current instant).
+
+use crate::event::{EventId, EventQueue};
+use crate::time::SimTime;
+
+/// A scheduled action: receives the engine to read the clock and schedule
+/// follow-up events.
+pub type Action = Box<dyn FnOnce(&mut Engine)>;
+
+struct ActionEntry(Action, u64);
+
+impl PartialEq for ActionEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.1 == other.1
+    }
+}
+impl Eq for ActionEntry {}
+
+/// A single-threaded discrete-event simulation engine.
+pub struct Engine {
+    now: SimTime,
+    queue: EventQueue<ActionEntry>,
+    unique: u64,
+    executed: u64,
+}
+
+impl Engine {
+    /// A fresh engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            unique: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F: FnOnce(&mut Engine) + 'static>(
+        &mut self,
+        at: SimTime,
+        action: F,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.unique += 1;
+        let tag = self.unique;
+        self.queue.schedule(at, ActionEntry(Box::new(action), tag))
+    }
+
+    /// Schedules `action` after `delay` seconds of simulated time.
+    pub fn schedule_in<F: FnOnce(&mut Engine) + 'static>(
+        &mut self,
+        delay: f64,
+        action: F,
+    ) -> EventId {
+        let at = self.now + SimTime::new(delay);
+        self.schedule_at(at, action)
+    }
+
+    /// Cancels a scheduled event; returns whether it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Executes the next event, advancing the clock. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some((time, ActionEntry(action, _))) => {
+                debug_assert!(time >= self.now, "event queue returned past event");
+                self.now = time;
+                self.executed += 1;
+                action(self);
+                true
+            }
+        }
+    }
+
+    /// Runs until the event queue drains. Returns the final clock value.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until the queue drains or the next event lies strictly after
+    /// `deadline`; the clock never passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline.min(self.queue.peek_time().map_or(deadline, |t| t.min(deadline)));
+        }
+        self.now
+    }
+
+    /// Live events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order_and_advance_clock() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for (t, name) in [(3.0, "c"), (1.0, "a"), (2.0, "b")] {
+            let log = Rc::clone(&log);
+            eng.schedule_in(t, move |e| {
+                log.borrow_mut().push((e.now().secs(), name));
+            });
+        }
+        let end = eng.run();
+        assert_eq!(end.secs(), 3.0);
+        assert_eq!(&*log.borrow(), &[(1.0, "a"), (2.0, "b"), (3.0, "c")]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut eng = Engine::new();
+        let h = Rc::clone(&hits);
+        eng.schedule_in(1.0, move |e| {
+            *h.borrow_mut() += 1;
+            let h2 = Rc::clone(&h);
+            e.schedule_in(1.0, move |_| {
+                *h2.borrow_mut() += 1;
+            });
+        });
+        let end = eng.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(end.secs(), 2.0);
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut eng = Engine::new();
+        let h = Rc::clone(&hits);
+        let id = eng.schedule_in(1.0, move |_| {
+            *h.borrow_mut() += 1;
+        });
+        assert!(eng.cancel(id));
+        eng.run();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for t in [1.0, 2.0, 5.0] {
+            let h = Rc::clone(&hits);
+            eng.schedule_in(t, move |e| h.borrow_mut().push(e.now().secs()));
+        }
+        eng.run_until(SimTime::new(3.0));
+        assert_eq!(&*hits.borrow(), &[1.0, 2.0]);
+        assert_eq!(eng.pending(), 1);
+        eng.run();
+        assert_eq!(&*hits.borrow(), &[1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_in(2.0, |e| {
+            e.schedule_at(SimTime::new(1.0), |_| {});
+        });
+        eng.run();
+    }
+
+    #[test]
+    fn same_instant_events_run_fifo() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for i in 0..5 {
+            let log = Rc::clone(&log);
+            eng.schedule_in(1.0, move |_| log.borrow_mut().push(i));
+        }
+        eng.run();
+        assert_eq!(&*log.borrow(), &[0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Event queue with stable ordering.
+//!
+//! A thin priority queue of `(time, sequence)`-ordered entries. Events at
+//! equal timestamps pop in scheduling order (FIFO), which keeps simulations
+//! deterministic regardless of heap internals. Cancellation is O(1) via a
+//! tombstone set.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(PartialEq, Eq)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T: Eq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, FIFO-stable, cancellable event queue.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<T: Eq> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`; returns a handle for cancellation.
+    pub fn schedule(&mut self, time: SimTime, payload: T) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-popped
+    /// or already-cancelled event is a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the earliest live event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Eq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.pop(), Some((t(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 1);
+        q.schedule(t(1.0), 2);
+        q.schedule(t(1.0), 3);
+        assert_eq!(q.pop().map(|e| e.1), Some(1));
+        assert_eq!(q.pop().map(|e| e.1), Some(2));
+        assert_eq!(q.pop().map(|e| e.1), Some(3));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(5.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Pop order equals a stable sort by (time, scheduling order),
+            /// under arbitrary schedules and cancellations.
+            #[test]
+            fn prop_pop_order_is_stable_time_order(
+                times in proptest::collection::vec(0.0f64..100.0, 1..40),
+                cancel_mask in proptest::collection::vec(any::<bool>(), 1..40),
+            ) {
+                let mut q = EventQueue::new();
+                let mut ids = Vec::new();
+                for (i, &t) in times.iter().enumerate() {
+                    ids.push((q.schedule(SimTime::new(t), i), t, i));
+                }
+                let mut expected: Vec<(f64, usize)> = Vec::new();
+                for (j, &(id, t, payload)) in ids.iter().enumerate() {
+                    let cancelled = cancel_mask.get(j).copied().unwrap_or(false);
+                    if cancelled {
+                        prop_assert!(q.cancel(id));
+                    } else {
+                        expected.push((t, payload));
+                    }
+                }
+                expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut got = Vec::new();
+                while let Some((t, p)) = q.pop() {
+                    got.push((t.secs(), p));
+                }
+                prop_assert_eq!(got, expected);
+            }
+
+            /// len() always equals the number of live events.
+            #[test]
+            fn prop_len_matches_live_count(
+                n in 1usize..30,
+                cancels in proptest::collection::vec(0usize..30, 0..10),
+            ) {
+                let mut q = EventQueue::new();
+                let ids: Vec<EventId> =
+                    (0..n).map(|i| q.schedule(SimTime::new(i as f64), i)).collect();
+                let mut live = n;
+                let mut done = std::collections::HashSet::new();
+                for &c in &cancels {
+                    if c < n && done.insert(c) && q.cancel(ids[c]) {
+                        live -= 1;
+                    }
+                }
+                prop_assert_eq!(q.len(), live);
+                let mut popped = 0;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                prop_assert_eq!(popped, live);
+            }
+        }
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Shared network link models.
+//!
+//! The paper's platform has a single shared 100BaseT segment: "messages
+//! compete for a fixed amount of communication bandwidth, and collisions
+//! delay message transmission". Two models are provided:
+//!
+//! * [`SharedLink`] — closed-form latency/bandwidth arithmetic for the
+//!   common cases (one transfer; `n` simultaneous equal transfers). With
+//!   fluid fair sharing, `n` simultaneous transfers of `b` bytes all finish
+//!   at `α + n·b/β`, which equals the serialized time — exactly the
+//!   conservative behaviour of a shared Ethernet segment.
+//! * [`FluidLink`] — an event-driven fluid simulation for flows with
+//!   arbitrary start times and sizes (max–min fair sharing reduces to an
+//!   equal `β/n` split on a single link).
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth description of one shared link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SharedLink {
+    /// One-way message latency α, seconds.
+    pub latency: f64,
+    /// Link bandwidth β, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl SharedLink {
+    /// Creates a link with latency `alpha` (seconds) and bandwidth `beta`
+    /// (bytes/second).
+    ///
+    /// # Panics
+    /// Panics if latency is negative or bandwidth non-positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "latency must be >= 0");
+        assert!(beta.is_finite() && beta > 0.0, "bandwidth must be > 0");
+        SharedLink {
+            latency: alpha,
+            bandwidth: beta,
+        }
+    }
+
+    /// The paper's platform link: 100BaseT segment delivering 6 MB/s with
+    /// 100 µs latency.
+    pub fn hpdc03_lan() -> Self {
+        SharedLink::new(1e-4, 6e6)
+    }
+
+    /// Time for a single transfer of `bytes`: `α + bytes/β`.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        self.latency + bytes / self.bandwidth
+    }
+
+    /// Completion time of `n` simultaneous transfers of `bytes` each under
+    /// fluid fair sharing: `α + n·bytes/β` (all flows finish together).
+    pub fn bulk_transfer_time(&self, n: usize, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        if n == 0 {
+            return 0.0;
+        }
+        self.latency + (n as f64) * bytes / self.bandwidth
+    }
+}
+
+/// One flow offered to a [`FluidLink`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Instant the flow is offered to the link.
+    pub start: f64,
+    /// Payload size in bytes.
+    pub bytes: f64,
+}
+
+/// Event-driven fluid simulation of concurrent flows on one shared link.
+///
+/// Bandwidth is split equally among the flows in flight (max–min fairness
+/// on a single bottleneck). Each flow additionally pays the link latency
+/// once, up front.
+#[derive(Clone, Debug)]
+pub struct FluidLink {
+    link: SharedLink,
+}
+
+impl FluidLink {
+    /// Wraps a [`SharedLink`] description.
+    pub fn new(link: SharedLink) -> Self {
+        FluidLink { link }
+    }
+
+    /// The underlying link description.
+    pub fn link(&self) -> SharedLink {
+        self.link
+    }
+
+    /// Simulates the given flows and returns their completion instants, in
+    /// the same order as the input.
+    ///
+    /// Runs in `O(F² )` worst case over `F` flows (each completion rescans
+    /// the active set), which is ample for the per-iteration flow counts
+    /// (≤ a few dozen) this workspace produces.
+    pub fn completion_times(&self, flows: &[Flow]) -> Vec<f64> {
+        #[derive(Clone, Copy)]
+        struct Active {
+            idx: usize,
+            remaining: f64,
+        }
+
+        let mut done = vec![0.0f64; flows.len()];
+        // Flows begin moving data after the latency.
+        let mut pending: Vec<(f64, usize)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                assert!(f.bytes >= 0.0 && f.start >= 0.0, "invalid flow {i}");
+                (f.start + self.link.latency, i)
+            })
+            .collect();
+        pending.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut pending = pending.into_iter().peekable();
+
+        let mut active: Vec<Active> = Vec::new();
+        let mut now = 0.0f64;
+        loop {
+            // Advance time to the next event: either a new flow arrival or
+            // the earliest completion among active flows at the current
+            // equal-share rate.
+            let share = if active.is_empty() {
+                f64::INFINITY
+            } else {
+                self.link.bandwidth / active.len() as f64
+            };
+            let next_completion = active
+                .iter()
+                .map(|a| now + a.remaining / share)
+                .fold(f64::INFINITY, f64::min);
+            let next_arrival = pending.peek().map_or(f64::INFINITY, |&(t, _)| t);
+
+            if next_arrival == f64::INFINITY && next_completion == f64::INFINITY {
+                break;
+            }
+
+            let next = next_arrival.min(next_completion);
+            // Drain progress up to `next`.
+            let elapsed = next - now;
+            if elapsed > 0.0 && !active.is_empty() {
+                for a in &mut active {
+                    a.remaining -= elapsed * share;
+                }
+            }
+            now = next;
+
+            if next_completion <= next_arrival {
+                // Retire every flow that just finished (remaining ~ 0).
+                let mut i = 0;
+                while i < active.len() {
+                    if active[i].remaining <= 1e-9 * self.link.bandwidth.max(1.0) {
+                        done[active[i].idx] = now;
+                        active.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            while pending.peek().is_some_and(|&(t, _)| t <= now) {
+                let (_, idx) = pending.next().expect("peeked");
+                let bytes = flows[idx].bytes;
+                if bytes == 0.0 {
+                    done[idx] = now;
+                } else {
+                    active.push(Active {
+                        idx,
+                        remaining: bytes,
+                    });
+                }
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lan() -> SharedLink {
+        SharedLink::new(0.0, 1000.0) // zero latency keeps arithmetic exact
+    }
+
+    #[test]
+    fn single_transfer_is_latency_plus_bytes_over_bandwidth() {
+        let l = SharedLink::new(0.1, 1000.0);
+        assert_eq!(l.transfer_time(500.0), 0.1 + 0.5);
+    }
+
+    #[test]
+    fn bulk_transfers_serialize_on_shared_link() {
+        let l = SharedLink::new(0.1, 1000.0);
+        assert_eq!(l.bulk_transfer_time(4, 250.0), 0.1 + 1.0);
+        assert_eq!(l.bulk_transfer_time(0, 250.0), 0.0);
+    }
+
+    #[test]
+    fn hpdc03_lan_matches_paper_numbers() {
+        let l = SharedLink::hpdc03_lan();
+        // "the swap time at 1 gigabyte is 170+ seconds": 1e9 / 6e6 ≈ 166.7 s
+        let t = l.transfer_time(1e9);
+        assert!((t - 166.667).abs() < 0.1, "got {t}");
+    }
+
+    #[test]
+    fn fluid_single_flow_matches_closed_form() {
+        let f = FluidLink::new(SharedLink::new(0.25, 1000.0));
+        let done = f.completion_times(&[Flow {
+            start: 1.0,
+            bytes: 500.0,
+        }]);
+        assert_eq!(done, vec![1.0 + 0.25 + 0.5]);
+    }
+
+    #[test]
+    fn fluid_simultaneous_equal_flows_finish_together() {
+        let f = FluidLink::new(lan());
+        let flows = vec![
+            Flow {
+                start: 0.0,
+                bytes: 250.0
+            };
+            4
+        ];
+        let done = f.completion_times(&flows);
+        for &d in &done {
+            assert!((d - 1.0).abs() < 1e-9, "expected 1.0, got {d}");
+        }
+    }
+
+    #[test]
+    fn fluid_staggered_flows_share_fairly() {
+        let f = FluidLink::new(lan());
+        // Flow A: 1000 B at t=0. Flow B: 250 B at t=0.5.
+        // [0, 0.5): A alone at 1000 B/s -> A has 500 left.
+        // From 0.5: each gets 500 B/s. B finishes at 0.5 + 0.5 = 1.0 with A
+        // at 250 left; A then runs alone: 1.0 + 0.25 = 1.25.
+        let done = f.completion_times(&[
+            Flow {
+                start: 0.0,
+                bytes: 1000.0,
+            },
+            Flow {
+                start: 0.5,
+                bytes: 250.0,
+            },
+        ]);
+        assert!((done[1] - 1.0).abs() < 1e-9, "B: {}", done[1]);
+        assert!((done[0] - 1.25).abs() < 1e-9, "A: {}", done[0]);
+    }
+
+    #[test]
+    fn fluid_zero_byte_flow_completes_at_arrival() {
+        let f = FluidLink::new(SharedLink::new(0.1, 1000.0));
+        let done = f.completion_times(&[Flow {
+            start: 2.0,
+            bytes: 0.0,
+        }]);
+        assert_eq!(done, vec![2.1]);
+    }
+
+    proptest! {
+        /// Work conservation: the last completion can never beat the time
+        /// needed to push all bytes through the link from the first start,
+        /// nor be slower than serializing everything from the last start.
+        #[test]
+        fn prop_fluid_work_conservation(
+            specs in proptest::collection::vec((0.0f64..10.0, 1.0f64..10_000.0), 1..12)
+        ) {
+            let link = lan();
+            let flows: Vec<Flow> = specs
+                .iter()
+                .map(|&(start, bytes)| Flow { start, bytes })
+                .collect();
+            let done = FluidLink::new(link).completion_times(&flows);
+            let total_bytes: f64 = flows.iter().map(|f| f.bytes).sum();
+            let first_start = flows.iter().map(|f| f.start).fold(f64::INFINITY, f64::min);
+            let last_start = flows.iter().map(|f| f.start).fold(0.0, f64::max);
+            let finish = done.iter().fold(0.0f64, |a, &b| a.max(b));
+            prop_assert!(finish >= first_start + total_bytes / link.bandwidth - 1e-6);
+            prop_assert!(finish <= last_start + total_bytes / link.bandwidth + 1e-6);
+        }
+
+        /// Every flow completes no earlier than its solo transfer time.
+        #[test]
+        fn prop_fluid_no_faster_than_solo(
+            specs in proptest::collection::vec((0.0f64..10.0, 1.0f64..10_000.0), 1..12)
+        ) {
+            let link = SharedLink::new(0.05, 1000.0);
+            let flows: Vec<Flow> = specs
+                .iter()
+                .map(|&(start, bytes)| Flow { start, bytes })
+                .collect();
+            let done = FluidLink::new(link).completion_times(&flows);
+            for (f, &d) in flows.iter().zip(&done) {
+                prop_assert!(d + 1e-6 >= f.start + link.transfer_time(f.bytes));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic RNG plumbing.
+//!
+//! All randomness in the workspace flows through seeded [`rand::rngs::StdRng`]
+//! instances derived here, so any experiment is reproducible from `(seed,
+//! parameters)` alone. Independent *streams* (one per simulated host, per
+//! replication, …) are derived by mixing the base seed with a stream index
+//! through SplitMix64, which decorrelates nearby indices.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG for the given seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed))
+}
+
+/// An RNG for stream `stream` of base seed `seed`; different streams are
+/// statistically independent, and `(seed, stream)` pairs never collide with
+/// plain `rng(seed)` draws in practice.
+pub fn stream_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(
+        splitmix64(seed) ^ splitmix64(stream.wrapping_add(1)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a: Vec<u64> = rng(42)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = rng(42)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = rng(1).gen();
+        let b: u64 = rng(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let a: u64 = stream_rng(7, 0).gen();
+        let b: u64 = stream_rng(7, 1).gen();
+        let c: u64 = stream_rng(8, 0).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        // Distinct inputs map to distinct outputs (spot check — SplitMix64
+        // is a bijection by construction).
+        let outs: Vec<u64> = (0..1000u64).map(splitmix64).collect();
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+    }
+}

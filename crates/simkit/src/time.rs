@@ -1,0 +1,194 @@
+//! Simulated-time newtype.
+//!
+//! Simulated time is a non-negative `f64` number of seconds. The newtype
+//! exists so that the rest of the workspace cannot accidentally mix up
+//! durations, byte counts and instants, and to centralize the epsilon
+//! comparisons that floating-point event times need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Comparison tolerance for simulated instants, in seconds.
+///
+/// One nanosecond: far below anything the models here can resolve (the
+/// shortest modelled interval is a link latency of ~100 µs) yet far above
+/// accumulated f64 rounding error over multi-hour simulated runs.
+pub const TIME_EPS: f64 = 1e-9;
+
+/// An instant (or duration) in simulated seconds.
+///
+/// `SimTime` is totally ordered; `NaN` is forbidden and enforced by the
+/// constructors in debug builds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+    /// A time later than every schedulable event.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Wraps a raw second count.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `secs` is NaN.
+    #[inline]
+    pub fn new(secs: f64) -> Self {
+        debug_assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        SimTime(secs)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// True if this instant is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// True if the two instants are within [`TIME_EPS`] of each other.
+    #[inline]
+    pub fn approx_eq(self, other: SimTime) -> bool {
+        (self.0 - other.0).abs() <= TIME_EPS
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN is excluded by construction, so total_cmp agrees with
+        // partial_cmp everywhere the type is inhabited.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for SimTime {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 / rhs)
+    }
+}
+
+impl From<f64> for SimTime {
+    #[inline]
+    fn from(secs: f64) -> Self {
+        SimTime::new(secs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            return write!(f, "∞");
+        }
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_seconds() {
+        let a = SimTime::new(1.5);
+        let b = SimTime::new(2.5);
+        assert_eq!((a + b).secs(), 4.0);
+        assert_eq!((b - a).secs(), 1.0);
+        assert_eq!((a * 2.0).secs(), 3.0);
+        assert_eq!((b / 2.0).secs(), 1.25);
+    }
+
+    #[test]
+    fn ordering_is_total_and_matches_f64() {
+        let mut v = vec![SimTime::new(3.0), SimTime::ZERO, SimTime::new(1.0)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::new(1.0), SimTime::new(3.0)]);
+        assert!(SimTime::INFINITY > SimTime::new(1e18));
+    }
+
+    #[test]
+    fn approx_eq_uses_epsilon() {
+        let a = SimTime::new(1.0);
+        assert!(a.approx_eq(SimTime::new(1.0 + TIME_EPS / 2.0)));
+        assert!(!a.approx_eq(SimTime::new(1.0 + 1e-6)));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

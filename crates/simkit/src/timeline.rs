@@ -1,0 +1,425 @@
+//! Piecewise-constant timelines.
+//!
+//! A [`Timeline`] is a right-continuous step function of simulated time,
+//! defined from `t = 0` to `t = +∞` (the final segment extends forever).
+//! It is the central representation of everything time-varying in the
+//! simulation: competing-process counts, CPU availability fractions,
+//! delivered flop rates.
+//!
+//! The two operations that power the whole study are
+//! [`Timeline::integrate`] — how much "area" (work capacity) the function
+//! delivers over an interval — and its inverse [`Timeline::advance`] —
+//! given a start instant and an amount of work, at what instant does the
+//! work complete. Both are exact for step functions (no numerical
+//! quadrature is involved).
+
+use serde::{Deserialize, Serialize};
+
+/// A right-continuous, piecewise-constant step function of time.
+///
+/// Invariants (enforced by the constructors):
+/// * breakpoints are strictly increasing in time,
+/// * the first breakpoint is at `t = 0`,
+/// * values are finite and non-negative,
+/// * consecutive segments have distinct values (runs are coalesced).
+///
+/// ```
+/// use simkit::Timeline;
+///
+/// // Availability 1.0 for 10 s, then 0.5 forever (one competitor shows up).
+/// let avail = Timeline::from_points([(0.0, 1.0), (10.0, 0.5)]);
+/// assert_eq!(avail.integrate(0.0, 20.0), 15.0);   // delivered capacity
+/// assert_eq!(avail.advance(0.0, 15.0), 20.0);     // when 15 units finish
+/// assert_eq!(avail.value_at(10.0), 0.5);          // right-continuous
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// `(start_time, value)` pairs; each value holds from its start time
+    /// until the next breakpoint (or forever, for the last one).
+    points: Vec<(f64, f64)>,
+}
+
+impl Timeline {
+    /// A timeline that is `value` everywhere.
+    pub fn constant(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "timeline values must be finite and non-negative, got {value}"
+        );
+        Timeline {
+            points: vec![(0.0, value)],
+        }
+    }
+
+    /// Builds a timeline from `(start_time, value)` breakpoints.
+    ///
+    /// The first breakpoint must be at `t = 0`; times must be strictly
+    /// increasing. Runs of equal consecutive values are coalesced.
+    ///
+    /// # Panics
+    /// Panics if the invariants listed on [`Timeline`] are violated.
+    pub fn from_points<I: IntoIterator<Item = (f64, f64)>>(points: I) -> Self {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (t, v) in points {
+            assert!(t.is_finite(), "breakpoint time must be finite, got {t}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "timeline values must be finite and non-negative, got {v}"
+            );
+            match out.last() {
+                None => assert!(t == 0.0, "first breakpoint must be at t=0, got {t}"),
+                Some(&(last_t, last_v)) => {
+                    assert!(t > last_t, "breakpoints must be strictly increasing");
+                    if v == last_v {
+                        continue; // coalesce equal-value runs
+                    }
+                }
+            }
+            out.push((t, v));
+        }
+        assert!(!out.is_empty(), "timeline needs at least one breakpoint");
+        Timeline { points: out }
+    }
+
+    /// Appends a breakpoint: from time `t` on, the function takes `value`.
+    ///
+    /// # Panics
+    /// Panics if `t` is not later than the last breakpoint, or `value` is
+    /// negative or non-finite.
+    pub fn push(&mut self, t: f64, value: f64) {
+        assert!(t.is_finite() && value.is_finite() && value >= 0.0);
+        let &(last_t, last_v) = self.points.last().expect("timeline is never empty");
+        assert!(t > last_t, "breakpoints must be strictly increasing");
+        if value != last_v {
+            self.points.push((t, value));
+        }
+    }
+
+    /// The function's value at instant `t` (for `t < 0`, the value at 0).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => self.points[0].1,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// The breakpoints, as `(start_time, value)` pairs.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Iterates segments overlapping `[t0, t1)` as `(start, end, value)`,
+    /// clipped to the interval. The last segment of the timeline is treated
+    /// as extending to `t1`.
+    pub fn segments_in(&self, t0: f64, t1: f64) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        let start_idx = self.points.partition_point(|&(pt, _)| pt <= t0).max(1) - 1;
+        self.points[start_idx..]
+            .iter()
+            .enumerate()
+            .map_while(move |(k, &(seg_start, v))| {
+                let i = start_idx + k;
+                let seg_end = self
+                    .points
+                    .get(i + 1)
+                    .map_or(f64::INFINITY, |&(next, _)| next);
+                let lo = seg_start.max(t0);
+                let hi = seg_end.min(t1);
+                if lo >= t1 {
+                    None
+                } else {
+                    Some((lo, hi, v))
+                }
+            })
+            .filter(|&(lo, hi, _)| hi > lo)
+    }
+
+    /// Exact integral of the function over `[t0, t1]`.
+    pub fn integrate(&self, t0: f64, t1: f64) -> f64 {
+        assert!(
+            t1 >= t0,
+            "integrate: interval must be ordered ({t0} > {t1})"
+        );
+        self.segments_in(t0, t1)
+            .map(|(lo, hi, v)| (hi - lo) * v)
+            .sum()
+    }
+
+    /// Inverse of [`integrate`](Self::integrate): the earliest instant `t`
+    /// such that the integral over `[t0, t]` reaches `work`.
+    ///
+    /// Returns `f64::INFINITY` when the timeline's tail is zero and the
+    /// remaining work can never complete.
+    pub fn advance(&self, t0: f64, work: f64) -> f64 {
+        assert!(work >= 0.0, "advance: work must be non-negative");
+        if work == 0.0 {
+            return t0;
+        }
+        let mut remaining = work;
+        let start_idx = self.points.partition_point(|&(pt, _)| pt <= t0).max(1) - 1;
+        for (i, &(seg_start, v)) in self.points[start_idx..].iter().enumerate() {
+            let idx = start_idx + i;
+            let lo = seg_start.max(t0);
+            let seg_end = self
+                .points
+                .get(idx + 1)
+                .map_or(f64::INFINITY, |&(next, _)| next);
+            if seg_end <= lo {
+                continue;
+            }
+            if v > 0.0 {
+                let capacity = (seg_end - lo) * v; // may be INF for the tail
+                if remaining <= capacity {
+                    return lo + remaining / v;
+                }
+                remaining -= capacity;
+            } else if seg_end == f64::INFINITY {
+                return f64::INFINITY;
+            }
+        }
+        // Unreachable: the loop always ends in a segment with seg_end == INF.
+        f64::INFINITY
+    }
+
+    /// Mean value over `[t0, t1]` (zero-length intervals return the point
+    /// value at `t0`).
+    pub fn mean(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return self.value_at(t0);
+        }
+        self.integrate(t0, t1) / (t1 - t0)
+    }
+
+    /// Pointwise transformation of the values. `f` must map equal inputs to
+    /// equal outputs (it is applied per segment).
+    ///
+    /// # Panics
+    /// Panics if `f` produces a negative or non-finite value.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Timeline {
+        Timeline::from_points(self.points.iter().map(|&(t, v)| (t, f(v))))
+    }
+
+    /// Pointwise combination of two timelines: the result at time `t` is
+    /// `f(self(t), other(t))`. Breakpoints are the union of both inputs'.
+    pub fn zip_with<F: FnMut(f64, f64) -> f64>(&self, other: &Timeline, mut f: F) -> Timeline {
+        let mut times: Vec<f64> = self
+            .points
+            .iter()
+            .chain(other.points.iter())
+            .map(|&(t, _)| t)
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+        Timeline::from_points(
+            times
+                .into_iter()
+                .map(|t| (t, f(self.value_at(t), other.value_at(t)))),
+        )
+    }
+
+    /// Sums a collection of timelines pointwise (e.g. aggregating several
+    /// ON/OFF load sources into a competing-process count).
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Timeline>>(timelines: I) -> Timeline {
+        let mut iter = timelines.into_iter();
+        let first = iter
+            .next()
+            .expect("Timeline::sum needs at least one input")
+            .clone();
+        iter.fold(first, |acc, t| acc.zip_with(t, |a, b| a + b))
+    }
+
+    /// The earliest breakpoint strictly after `t`, or `None` once the
+    /// function is constant forever.
+    pub fn next_change_after(&self, t: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        self.points.get(idx).map(|&(pt, _)| pt)
+    }
+
+    /// The time of the last breakpoint (after which the value is constant).
+    pub fn last_change(&self) -> f64 {
+        self.points.last().expect("timeline is never empty").0
+    }
+
+    /// The value the function takes from [`last_change`](Self::last_change)
+    /// onwards.
+    pub fn tail_value(&self) -> f64 {
+        self.points.last().expect("timeline is never empty").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn steps() -> Timeline {
+        // value 1 on [0,10), 0.5 on [10,20), 0 on [20,30), 2 on [30,∞)
+        Timeline::from_points([(0.0, 1.0), (10.0, 0.5), (20.0, 0.0), (30.0, 2.0)])
+    }
+
+    #[test]
+    fn value_at_queries_correct_segment() {
+        let t = steps();
+        assert_eq!(t.value_at(0.0), 1.0);
+        assert_eq!(t.value_at(9.999), 1.0);
+        assert_eq!(t.value_at(10.0), 0.5); // right-continuity
+        assert_eq!(t.value_at(25.0), 0.0);
+        assert_eq!(t.value_at(1e9), 2.0);
+        assert_eq!(t.value_at(-5.0), 1.0);
+    }
+
+    #[test]
+    fn integrate_across_segments() {
+        let t = steps();
+        assert_eq!(t.integrate(0.0, 10.0), 10.0);
+        assert_eq!(t.integrate(0.0, 20.0), 15.0);
+        assert_eq!(t.integrate(5.0, 15.0), 5.0 + 2.5);
+        assert_eq!(t.integrate(20.0, 30.0), 0.0);
+        assert_eq!(t.integrate(25.0, 35.0), 10.0);
+        assert_eq!(t.integrate(7.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn advance_inverts_integrate() {
+        let t = steps();
+        assert_eq!(t.advance(0.0, 10.0), 10.0);
+        assert_eq!(t.advance(0.0, 12.5), 15.0);
+        // 15 units of work exhausts [0,20); the zero segment is skipped and
+        // the rest completes in the tail at rate 2.
+        assert_eq!(t.advance(0.0, 15.0 + 4.0), 32.0);
+        assert_eq!(t.advance(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn advance_returns_infinity_on_dead_tail() {
+        let t = Timeline::from_points([(0.0, 1.0), (10.0, 0.0)]);
+        assert_eq!(t.advance(0.0, 10.0), 10.0);
+        assert_eq!(t.advance(0.0, 10.1), f64::INFINITY);
+        assert_eq!(t.advance(11.0, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn push_coalesces_equal_values() {
+        let mut t = Timeline::constant(1.0);
+        t.push(5.0, 1.0);
+        t.push(6.0, 2.0);
+        assert_eq!(t.points(), &[(0.0, 1.0), (6.0, 2.0)]);
+    }
+
+    #[test]
+    fn zip_with_unions_breakpoints() {
+        let a = Timeline::from_points([(0.0, 1.0), (10.0, 2.0)]);
+        let b = Timeline::from_points([(0.0, 3.0), (5.0, 4.0)]);
+        let s = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(s.value_at(0.0), 4.0);
+        assert_eq!(s.value_at(5.0), 5.0);
+        assert_eq!(s.value_at(10.0), 6.0);
+        assert_eq!(s.points().len(), 3);
+    }
+
+    #[test]
+    fn sum_aggregates_sources() {
+        let a = Timeline::from_points([(0.0, 0.0), (1.0, 1.0)]);
+        let b = Timeline::from_points([(0.0, 1.0), (2.0, 0.0)]);
+        let c = Timeline::constant(1.0);
+        let s = Timeline::sum([&a, &b, &c]);
+        assert_eq!(s.value_at(0.5), 2.0);
+        assert_eq!(s.value_at(1.5), 3.0);
+        assert_eq!(s.value_at(2.5), 2.0);
+    }
+
+    #[test]
+    fn mean_over_interval() {
+        let t = steps();
+        assert_eq!(t.mean(0.0, 20.0), 0.75);
+        assert_eq!(t.mean(5.0, 5.0), 1.0); // degenerate interval -> point value
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_rejects_non_increasing_time() {
+        let mut t = Timeline::constant(1.0);
+        t.push(0.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_values() {
+        Timeline::constant(-1.0);
+    }
+
+    #[test]
+    fn next_change_after_walks_breakpoints() {
+        let t = steps();
+        assert_eq!(t.next_change_after(0.0), Some(10.0));
+        assert_eq!(t.next_change_after(10.0), Some(20.0));
+        assert_eq!(t.next_change_after(25.0), Some(30.0));
+        assert_eq!(t.next_change_after(30.0), None);
+        assert_eq!(t.next_change_after(-1.0), Some(0.0));
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let t = Timeline::from_points([(0.0, 0.0), (10.0, 3.0)]);
+        let avail = t.map(|competing| 1.0 / (1.0 + competing));
+        assert_eq!(avail.value_at(0.0), 1.0);
+        assert_eq!(avail.value_at(10.0), 0.25);
+    }
+
+    proptest! {
+        /// advance(t0, integrate(t0, t1)) == t1 whenever the function is
+        /// strictly positive on the relevant range.
+        #[test]
+        fn prop_advance_inverts_integrate(
+            vals in proptest::collection::vec(0.1f64..5.0, 1..8),
+            t0 in 0.0f64..50.0,
+            dt in 0.0f64..100.0,
+        ) {
+            let points: Vec<(f64, f64)> =
+                vals.iter().enumerate().map(|(i, &v)| (i as f64 * 7.0, v)).collect();
+            let tl = Timeline::from_points(points);
+            let t1 = t0 + dt;
+            let work = tl.integrate(t0, t1);
+            let back = tl.advance(t0, work);
+            prop_assert!((back - t1).abs() < 1e-6, "t1={t1} back={back}");
+        }
+
+        /// Integration is additive over adjacent intervals.
+        #[test]
+        fn prop_integrate_additive(
+            vals in proptest::collection::vec(0.0f64..5.0, 1..8),
+            a in 0.0f64..30.0,
+            b in 0.0f64..30.0,
+            c in 0.0f64..30.0,
+        ) {
+            let mut cuts = [a, b, c];
+            cuts.sort_by(f64::total_cmp);
+            let points: Vec<(f64, f64)> =
+                vals.iter().enumerate().map(|(i, &v)| (i as f64 * 4.0, v)).collect();
+            let tl = Timeline::from_points(points);
+            let whole = tl.integrate(cuts[0], cuts[2]);
+            let split = tl.integrate(cuts[0], cuts[1]) + tl.integrate(cuts[1], cuts[2]);
+            prop_assert!((whole - split).abs() < 1e-9);
+        }
+
+        /// advance never returns an instant earlier than the start.
+        #[test]
+        fn prop_advance_monotone(
+            vals in proptest::collection::vec(0.0f64..5.0, 1..8),
+            t0 in 0.0f64..30.0,
+            w1 in 0.0f64..50.0,
+            w2 in 0.0f64..50.0,
+        ) {
+            let points: Vec<(f64, f64)> =
+                vals.iter().enumerate().map(|(i, &v)| (i as f64 * 4.0, v)).collect();
+            let tl = Timeline::from_points(points);
+            let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+            let e1 = tl.advance(t0, lo);
+            let e2 = tl.advance(t0, hi);
+            prop_assert!(e1 >= t0);
+            prop_assert!(e2 >= e1);
+        }
+    }
+}

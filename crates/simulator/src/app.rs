@@ -1,0 +1,114 @@
+//! The simulated iterative application (§6, "Application").
+//!
+//! "We simulate iterative applications with a range of execution
+//! characteristics: (i) computation time per iteration on an unloaded
+//! processor are in the 1–5 minute range; (ii) the amount of data that a
+//! processor must communicate in each iteration is in the 1KB–1GB range;
+//! (iii) the amount of application state information (process state) that
+//! needs to be transferred during a process swap (or a checkpoint/restart)
+//! ranges from 1KB to 1GB, per processor."
+
+use serde::{Deserialize, Serialize};
+
+/// Description of one iterative data-parallel application run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Number of processors the application actually computes on (N).
+    pub n_active: usize,
+    /// Number of iterations to run.
+    pub iterations: usize,
+    /// Computation per active process per iteration, flops (under an equal
+    /// partition; DLB divides `n_active × flops_per_proc_iter` unevenly).
+    pub flops_per_proc_iter: f64,
+    /// Bytes each process sends over the shared link per iteration.
+    pub bytes_per_proc_iter: f64,
+    /// Process state transferred by a swap or saved by a checkpoint, bytes
+    /// per process.
+    pub process_state_bytes: f64,
+}
+
+impl AppSpec {
+    /// The paper-scale configuration: per-process compute of 1.8e10 flops
+    /// (≈60 s on a 300 Mflop/s workstation — within the paper's 1–5 min
+    /// unloaded range), 1 MB communicated per process per iteration, 50
+    /// iterations.
+    pub fn hpdc03(n_active: usize, process_state_bytes: f64) -> Self {
+        AppSpec {
+            n_active,
+            iterations: 50,
+            flops_per_proc_iter: 1.8e10,
+            bytes_per_proc_iter: 1.0e6,
+            process_state_bytes,
+        }
+    }
+
+    /// Total computation across all processes in one iteration, flops.
+    pub fn total_flops_per_iter(&self) -> f64 {
+        self.n_active as f64 * self.flops_per_proc_iter
+    }
+
+    /// Unloaded compute time of one iteration on processors of `speed`
+    /// flop/s (equal partition).
+    pub fn unloaded_iter_time(&self, speed: f64) -> f64 {
+        assert!(speed > 0.0);
+        self.flops_per_proc_iter / speed
+    }
+
+    /// Validates internal consistency (positive sizes, at least one active
+    /// processor and one iteration).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if any field is out of range.
+    pub fn validate(&self) {
+        assert!(self.n_active >= 1, "need at least one active process");
+        assert!(self.iterations >= 1, "need at least one iteration");
+        assert!(
+            self.flops_per_proc_iter > 0.0 && self.flops_per_proc_iter.is_finite(),
+            "per-process work must be positive"
+        );
+        assert!(
+            self.bytes_per_proc_iter >= 0.0 && self.bytes_per_proc_iter.is_finite(),
+            "communication bytes must be non-negative"
+        );
+        assert!(
+            self.process_state_bytes >= 0.0 && self.process_state_bytes.is_finite(),
+            "process state must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_in_the_stated_ranges() {
+        let app = AppSpec::hpdc03(4, 1e6);
+        app.validate();
+        // 1–5 min unloaded iteration on 200–400 Mflop/s hosts.
+        let slow = app.unloaded_iter_time(2e8);
+        let fast = app.unloaded_iter_time(4e8);
+        assert!(slow <= 300.0 && fast >= 45.0, "slow={slow} fast={fast}");
+        assert_eq!(app.total_flops_per_iter(), 4.0 * 1.8e10);
+    }
+
+    #[test]
+    #[should_panic(expected = "active")]
+    fn zero_active_is_invalid() {
+        AppSpec {
+            n_active: 0,
+            ..AppSpec::hpdc03(4, 1e6)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "work")]
+    fn zero_work_is_invalid() {
+        AppSpec {
+            flops_per_proc_iter: 0.0,
+            ..AppSpec::hpdc03(4, 1e6)
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,377 @@
+//! The BSP execution core shared by all strategies.
+//!
+//! One iteration = parallel compute phase (each active process advances
+//! through its host's availability timeline) + a communication phase on
+//! the single shared link + whatever adaptation the strategy performs at
+//! the boundary. The core also produces the per-host performance
+//! measurements that feed the swap-policy histories.
+
+use crate::app::AppSpec;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// What happened during one application iteration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub index: usize,
+    /// Start of the compute phase.
+    pub start: f64,
+    /// End of the compute phase (slowest process).
+    pub compute_end: f64,
+    /// End of the communication phase.
+    pub end: f64,
+    /// Time spent adapting (swap transfer / checkpoint+restart) after this
+    /// iteration, seconds.
+    pub adapt_time: f64,
+    /// Host ids the application computed on during this iteration.
+    pub active: Vec<usize>,
+}
+
+impl IterationRecord {
+    /// Full iteration duration excluding adaptation.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The outcome of one strategy run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Strategy label (e.g. `"swap(greedy)"`).
+    pub strategy: String,
+    /// Total wall-clock execution time, startup included, seconds.
+    pub execution_time: f64,
+    /// Startup portion (0.75 s × allocated processes).
+    pub startup_time: f64,
+    /// Number of adaptation events (individual process swaps, or
+    /// checkpoint/restart cycles).
+    pub adaptations: usize,
+    /// Total time spent adapting, seconds.
+    pub adapt_time_total: f64,
+    /// Per-iteration details.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl RunResult {
+    /// Mean iteration duration (compute + communication, excluding
+    /// adaptation pauses).
+    pub fn mean_iteration_time(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.iterations
+            .iter()
+            .map(IterationRecord::duration)
+            .sum::<f64>()
+            / self.iterations.len() as f64
+    }
+}
+
+/// Outcome of one iteration's compute+communicate phases.
+#[derive(Clone, Debug)]
+pub struct IterationOutcome {
+    /// End of the compute phase.
+    pub compute_end: f64,
+    /// End of the communication phase (= iteration end).
+    pub end: f64,
+    /// Measured compute rate of each active process during this iteration
+    /// (flop/s), parallel to the `active`/`work` inputs.
+    pub measured_rates: Vec<f64>,
+}
+
+/// Runs one BSP iteration starting at `t0`.
+///
+/// * `active` — host ids carrying application processes;
+/// * `work` — flops assigned to each (parallel to `active`);
+/// * communication: every process sends `app.bytes_per_proc_iter` over
+///   the shared link once the slowest process finishes computing; with
+///   fluid fair sharing the phase lasts `α + n·b/β`.
+///
+/// # Panics
+/// Panics if `active` and `work` differ in length or are empty, or if any
+/// process can never finish (dead availability tail).
+pub fn run_iteration(
+    platform: &Platform,
+    app: &AppSpec,
+    active: &[usize],
+    work: &[f64],
+    t0: f64,
+) -> IterationOutcome {
+    assert_eq!(active.len(), work.len(), "active/work length mismatch");
+    assert!(!active.is_empty(), "iteration needs at least one process");
+
+    let mut compute_end = t0;
+    let mut completions = Vec::with_capacity(active.len());
+    for (&host, &w) in active.iter().zip(work) {
+        let done = platform.hosts[host].cpu.completion_time(t0, w);
+        assert!(
+            done.is_finite(),
+            "host {host} can never finish {w} flops from t={t0}"
+        );
+        completions.push(done);
+        compute_end = compute_end.max(done);
+    }
+
+    // Measured compute rate: work / busy time. A zero-work process (DLB
+    // can assign arbitrarily small chunks) reports its host's mean
+    // delivered speed over the phase instead.
+    let measured_rates = active
+        .iter()
+        .zip(work)
+        .zip(&completions)
+        .map(|((&host, &w), &done)| {
+            if done > t0 && w > 0.0 {
+                w / (done - t0)
+            } else {
+                platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
+            }
+        })
+        .collect();
+
+    let comm = platform
+        .link
+        .bulk_transfer_time(active.len(), app.bytes_per_proc_iter);
+    IterationOutcome {
+        compute_end,
+        end: compute_end + comm,
+        measured_rates,
+    }
+}
+
+/// Mean delivered speed of `host` over `[t0, t1]` — the probe measurement
+/// a swap handler reports for a spare processor.
+pub fn probe_host(platform: &Platform, host: usize, t0: f64, t1: f64) -> f64 {
+    platform.hosts[host].mean_delivered(t0, t1.max(t0))
+}
+
+/// Alternative communication model: **eager overlap**. Each process
+/// starts sending as soon as *it* finishes computing (instead of after a
+/// barrier), and the flows share the link fluidly — fast processes'
+/// messages drain while slow ones still compute. The iteration ends when
+/// the last flow completes.
+///
+/// This is an upper bound on what communication/computation overlap can
+/// recover; the paper's model (and [`run_iteration`]) is the BSP
+/// barrier-then-communicate variant. Compare with `ablation_commmodel`.
+pub fn run_iteration_eager(
+    platform: &Platform,
+    app: &AppSpec,
+    active: &[usize],
+    work: &[f64],
+    t0: f64,
+) -> IterationOutcome {
+    assert_eq!(active.len(), work.len(), "active/work length mismatch");
+    assert!(!active.is_empty(), "iteration needs at least one process");
+
+    let mut compute_end = t0;
+    let mut flows = Vec::with_capacity(active.len());
+    let mut completions = Vec::with_capacity(active.len());
+    for (&host, &w) in active.iter().zip(work) {
+        let done = platform.hosts[host].cpu.completion_time(t0, w);
+        assert!(done.is_finite(), "host {host} can never finish");
+        completions.push(done);
+        compute_end = compute_end.max(done);
+        flows.push(simkit::link::Flow {
+            start: done,
+            bytes: app.bytes_per_proc_iter,
+        });
+    }
+    let fluid = simkit::link::FluidLink::new(platform.link);
+    let end = fluid
+        .completion_times(&flows)
+        .into_iter()
+        .fold(compute_end, f64::max);
+
+    let measured_rates = active
+        .iter()
+        .zip(work)
+        .zip(&completions)
+        .map(|((&host, &w), &done)| {
+            if done > t0 && w > 0.0 {
+                w / (done - t0)
+            } else {
+                platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
+            }
+        })
+        .collect();
+    IterationOutcome {
+        compute_end,
+        end,
+        measured_rates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{Host, LoadSpec, Platform, PlatformSpec};
+    use loadmodel::LoadTrace;
+    use simkit::link::SharedLink;
+
+    fn app() -> AppSpec {
+        AppSpec {
+            n_active: 2,
+            iterations: 3,
+            flops_per_proc_iter: 1e9,
+            bytes_per_proc_iter: 6e6, // 1 s/flow on the 6 MB/s link
+            process_state_bytes: 1e6,
+        }
+    }
+
+    fn unloaded_platform() -> Platform {
+        PlatformSpec {
+            n_hosts: 4,
+            speed_range: (1e8, 1e8),
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+            load: LoadSpec::Unloaded,
+            horizon: 1e5,
+        }
+        .realize(0)
+    }
+
+    #[test]
+    fn unloaded_iteration_time_is_exact() {
+        let p = unloaded_platform();
+        let a = app();
+        let out = run_iteration(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        // Compute: 1e9 / 1e8 = 10 s; comm: 2 × 6e6 / 6e6 = 2 s.
+        assert!((out.compute_end - 10.0).abs() < 1e-9);
+        assert!((out.end - 12.0).abs() < 1e-9);
+        for &r in &out.measured_rates {
+            assert!((r - 1e8).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn loaded_host_bounds_the_iteration() {
+        let loaded = LoadTrace::from_intervals([(0.0, 1e6)]);
+        let p = Platform {
+            hosts: vec![
+                Host::new(1e8, &LoadTrace::unloaded()),
+                Host::new(1e8, &loaded), // delivers 5e7
+            ],
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+        };
+        let out = run_iteration(&p, &app(), &[0, 1], &[1e9, 1e9], 0.0);
+        assert!((out.compute_end - 20.0).abs() < 1e-9);
+        assert!((out.measured_rates[0] - 1e8).abs() < 1.0);
+        assert!((out.measured_rates[1] - 5e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn uneven_work_shifts_the_bottleneck() {
+        let p = unloaded_platform();
+        let out = run_iteration(&p, &app(), &[0, 1], &[2e9, 5e8], 0.0);
+        assert!((out.compute_end - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_rate_reflects_mid_iteration_load_change() {
+        // Load arrives at t=5 on host 0: first 5 s at 1e8, then 5e7.
+        let loaded = LoadTrace::from_intervals([(5.0, 1e6)]);
+        let p = Platform {
+            hosts: vec![Host::new(1e8, &loaded)],
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+        };
+        let out = run_iteration(&p, &app(), &[0], &[1e9], 0.0);
+        // 5e8 done by t=5; remaining 5e8 at 5e7 takes 10 s → done t=15.
+        assert!((out.compute_end - 15.0).abs() < 1e-9);
+        let rate = out.measured_rates[0];
+        assert!((rate - 1e9 / 15.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn probe_reports_windowed_mean() {
+        let loaded = LoadTrace::from_intervals([(0.0, 10.0)]);
+        let p = Platform {
+            hosts: vec![Host::new(1e8, &loaded)],
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+        };
+        assert!((probe_host(&p, 0, 0.0, 20.0) - 7.5e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_byte_communication_is_latency_only() {
+        let mut a = app();
+        a.bytes_per_proc_iter = 0.0;
+        let mut p = unloaded_platform();
+        p.link = SharedLink::new(0.5, 6e6);
+        let out = run_iteration(&p, &a, &[0], &[1e9], 0.0);
+        assert!((out.end - (10.0 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eager_comm_never_loses_to_bsp() {
+        // Overlap can only help: the eager iteration end is ≤ the BSP end
+        // for identical inputs.
+        let loaded = LoadTrace::from_intervals([(0.0, 1e6)]);
+        let p = Platform {
+            hosts: vec![
+                Host::new(1e8, &LoadTrace::unloaded()),
+                Host::new(1e8, &loaded),
+            ],
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+        };
+        let a = app();
+        let bsp = run_iteration(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        let eager = run_iteration_eager(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        assert!(
+            eager.end <= bsp.end + 1e-9,
+            "eager {} > bsp {}",
+            eager.end,
+            bsp.end
+        );
+        assert_eq!(eager.compute_end, bsp.compute_end);
+    }
+
+    #[test]
+    fn eager_comm_overlaps_fast_senders() {
+        // Host 0 finishes at t=10 and its 6 MB message drains fully
+        // (1 s at 6 MB/s) before host 1 finishes at t=20; host 1's
+        // message then takes 1 s alone: end = 21 < BSP's 20 + 2 = 22.
+        let loaded = LoadTrace::from_intervals([(0.0, 1e6)]);
+        let p = Platform {
+            hosts: vec![
+                Host::new(1e8, &LoadTrace::unloaded()),
+                Host::new(1e8, &loaded),
+            ],
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+        };
+        let a = app(); // 6 MB per process per iteration
+        let eager = run_iteration_eager(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        assert!((eager.end - 21.0).abs() < 1e-9, "end {}", eager.end);
+        let bsp = run_iteration(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        assert!((bsp.end - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eager_equals_bsp_when_processes_finish_together() {
+        let p = unloaded_platform();
+        let a = app();
+        let bsp = run_iteration(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        let eager = run_iteration_eager(&p, &a, &[0, 1], &[1e9, 1e9], 0.0);
+        // Simultaneous finish → flows fair-share exactly like the bulk
+        // formula.
+        assert!((eager.end - bsp.end).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_starting_late_uses_timeline_from_t0() {
+        let loaded = LoadTrace::from_intervals([(0.0, 10.0)]);
+        let p = Platform {
+            hosts: vec![Host::new(1e8, &loaded)],
+            link: SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+        };
+        // Starting after the load clears: full speed.
+        let out = run_iteration(&p, &app(), &[0], &[1e9], 10.0);
+        assert!((out.compute_end - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Activity rendering: which host computed when, and where the swaps
+//! happened. Turns a [`RunResult`] into a
+//! host×time occupancy chart (ASCII or CSV) — the visual the paper's §3
+//! validation narrates ("we observed and reported the effect of swapping
+//! throughout runs spanning several hours").
+
+use crate::exec::RunResult;
+use std::fmt::Write as _;
+
+/// One host's occupancy over the run, as `(start, end)` intervals during
+/// which it carried an application process.
+pub fn host_occupancy(result: &RunResult, host: usize) -> Vec<(f64, f64)> {
+    let mut spans: Vec<(f64, f64)> = Vec::new();
+    let mut prev_active = false;
+    for it in &result.iterations {
+        let active = it.active.contains(&host);
+        if active {
+            if prev_active {
+                // Contiguous across the iteration boundary (including any
+                // adaptation pause, during which the process still owns
+                // the host).
+                spans.last_mut().expect("span exists when contiguous").1 = it.end;
+            } else {
+                spans.push((it.start, it.end));
+            }
+        }
+        prev_active = active;
+    }
+    spans
+}
+
+/// The hosts that ever carried an application process, ascending.
+pub fn hosts_used(result: &RunResult) -> Vec<usize> {
+    let mut hosts: Vec<usize> = result
+        .iterations
+        .iter()
+        .flat_map(|it| it.active.iter().copied())
+        .collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    hosts
+}
+
+/// Renders an ASCII occupancy chart: one row per host ever used, `#`
+/// where the host computes, `·` where it idles, column = time bucket.
+pub fn render_ascii(result: &RunResult, width: usize) -> String {
+    assert!(width >= 10, "chart too narrow");
+    let end = result.execution_time;
+    let hosts = hosts_used(result);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {:.0} s, {} adaptation(s)",
+        result.strategy, result.execution_time, result.adaptations
+    );
+    for &h in &hosts {
+        let spans = host_occupancy(result, h);
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            let t0 = end * c as f64 / width as f64;
+            let t1 = end * (c + 1) as f64 / width as f64;
+            let busy = spans.iter().any(|&(s, e)| s < t1 && e > t0);
+            row.push(if busy { '#' } else { '\u{b7}' });
+        }
+        let _ = writeln!(out, "host {h:>3} |{row}|");
+    }
+    out
+}
+
+/// CSV rows `host,start,end` of every occupancy span.
+pub fn to_csv(result: &RunResult) -> String {
+    let mut out = String::from("host,start,end\n");
+    for h in hosts_used(result) {
+        for (s, e) in host_occupancy(result, h) {
+            let _ = writeln!(out, "{h},{s},{e}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::IterationRecord;
+
+    fn result_with_swap() -> RunResult {
+        RunResult {
+            strategy: "test".into(),
+            execution_time: 40.0,
+            startup_time: 0.0,
+            adaptations: 1,
+            adapt_time_total: 2.0,
+            iterations: vec![
+                IterationRecord {
+                    index: 0,
+                    start: 0.0,
+                    compute_end: 9.0,
+                    end: 10.0,
+                    adapt_time: 2.0,
+                    active: vec![0, 1],
+                },
+                IterationRecord {
+                    index: 1,
+                    start: 12.0,
+                    compute_end: 24.0,
+                    end: 25.0,
+                    adapt_time: 0.0,
+                    active: vec![0, 2], // host 1 swapped out for host 2
+                },
+                IterationRecord {
+                    index: 2,
+                    start: 25.0,
+                    compute_end: 39.0,
+                    end: 40.0,
+                    adapt_time: 0.0,
+                    active: vec![0, 2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn hosts_used_finds_everyone() {
+        assert_eq!(hosts_used(&result_with_swap()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn occupancy_tracks_the_swap() {
+        let r = result_with_swap();
+        assert_eq!(host_occupancy(&r, 1), vec![(0.0, 10.0)]);
+        assert_eq!(host_occupancy(&r, 2), vec![(12.0, 40.0)]);
+        // Host 0 runs continuously across the swap pause.
+        assert_eq!(host_occupancy(&r, 0), vec![(0.0, 40.0)]);
+    }
+
+    #[test]
+    fn ascii_chart_has_one_row_per_host() {
+        let art = render_ascii(&result_with_swap(), 40);
+        assert_eq!(art.lines().count(), 4); // header + 3 hosts
+        assert!(art.contains("host   0"));
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn csv_lists_all_spans() {
+        let csv = to_csv(&result_with_swap());
+        assert!(csv.starts_with("host,start,end\n"));
+        assert!(csv.contains("1,0,10"));
+        assert!(csv.contains("2,12,40"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Discrete-event simulation of the swap runtime protocol (§3).
+//!
+//! "During execution a number of runtime services cooperate to (i)
+//! periodically check the performance of the processors; (ii) make
+//! swapping decisions; and (iii) enact these decisions. Each MPI process
+//! is accompanied by a *swap handler* … The *swap manager* is a possibly
+//! remote process that is responsible for collecting information and
+//! making swapping decisions."
+//!
+//! The figure-level simulator charges only the state-transfer time for a
+//! swap and treats measurement and decision-making as free. This module
+//! justifies that simplification: it simulates one full decision round —
+//! performance reports from every active handler, probe request/reply
+//! with every spare handler, the decision computation, directives, and
+//! the state transfer(s) — as messages serialized over the single shared
+//! link, using the `simkit` event engine. For the paper's parameters the
+//! non-transfer overhead is a few milliseconds against minute-scale
+//! iterations (see the tests and `protocol_overhead`).
+
+use serde::{Deserialize, Serialize};
+use simkit::link::SharedLink;
+use simkit::{Engine, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Message sizes and costs of one decision round.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolParams {
+    /// The shared link everything traverses.
+    pub link: SharedLink,
+    /// Active swap handlers (one per application process).
+    pub n_active: usize,
+    /// Spare swap handlers.
+    pub n_spares: usize,
+    /// Bytes of one performance report (handler → manager).
+    pub report_bytes: f64,
+    /// Bytes of one probe request (manager → spare handler).
+    pub probe_request_bytes: f64,
+    /// Bytes of one probe reply (spare handler → manager).
+    pub probe_reply_bytes: f64,
+    /// Bytes of one directive (manager → handler).
+    pub directive_bytes: f64,
+    /// Manager compute time to run the policy, seconds.
+    pub decision_compute: f64,
+    /// Process state transferred per admitted swap, bytes.
+    pub state_bytes: f64,
+    /// Number of swaps admitted this round.
+    pub swaps: usize,
+}
+
+impl ProtocolParams {
+    /// Paper-scale defaults: 6 MB/s LAN, small control messages, 1 ms of
+    /// decision compute.
+    pub fn hpdc03(n_active: usize, n_spares: usize, state_bytes: f64, swaps: usize) -> Self {
+        ProtocolParams {
+            link: SharedLink::hpdc03_lan(),
+            n_active,
+            n_spares,
+            report_bytes: 256.0,
+            probe_request_bytes: 64.0,
+            probe_reply_bytes: 256.0,
+            directive_bytes: 64.0,
+            decision_compute: 1e-3,
+            state_bytes,
+            swaps,
+        }
+    }
+}
+
+/// What one simulated decision round produced.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundOutcome {
+    /// Instant the manager has all measurements and finishes deciding.
+    pub decision_ready: f64,
+    /// Instant every directive has been delivered.
+    pub directives_delivered: f64,
+    /// Instant the last state transfer completes (= the application may
+    /// resume; equals `directives_delivered` when no swap happened).
+    pub round_complete: f64,
+    /// Total messages exchanged.
+    pub messages: usize,
+    /// Total time the link spent busy, seconds.
+    pub link_busy: f64,
+}
+
+impl RoundOutcome {
+    /// The protocol overhead beyond the unavoidable state transfer:
+    /// everything except `swaps × (α + state/β)`.
+    pub fn control_overhead(&self, params: &ProtocolParams) -> f64 {
+        let transfer = params.swaps as f64 * params.link.transfer_time(params.state_bytes);
+        (self.round_complete - transfer).max(0.0)
+    }
+}
+
+/// Shared-link FIFO: messages queue and each occupies the link for
+/// `α + bytes/β` (a conservative serialization of what the fluid model
+/// would interleave).
+struct LinkQueue {
+    link: SharedLink,
+    free_at: f64,
+    busy_total: f64,
+}
+
+impl LinkQueue {
+    fn send(&mut self, now: f64, bytes: f64) -> f64 {
+        let start = self.free_at.max(now);
+        let occupancy = self.link.transfer_time(bytes);
+        self.free_at = start + occupancy;
+        self.busy_total += occupancy;
+        self.free_at
+    }
+}
+
+/// Simulates one decision round with the discrete-event engine.
+///
+/// Round structure (each arrow is a queued link message):
+/// 1. every active handler → manager: performance report;
+/// 2. manager → every spare: probe request; spare → manager: probe reply
+///    (sent as soon as the request arrives);
+/// 3. manager computes the decision;
+/// 4. manager → the 2×`swaps` affected handlers: directives;
+/// 5. per swap: displaced handler → spare: the process state.
+///
+/// # Panics
+/// Panics if `swaps` exceeds `min(n_active, n_spares)`.
+pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
+    assert!(
+        params.swaps <= params.n_active.min(params.n_spares),
+        "cannot swap more processes than active/spare pairs exist"
+    );
+    let mut engine = Engine::new();
+    let queue = Rc::new(RefCell::new(LinkQueue {
+        link: params.link,
+        free_at: 0.0,
+        busy_total: 0.0,
+    }));
+    let outcome = Rc::new(RefCell::new(RoundOutcome {
+        decision_ready: 0.0,
+        directives_delivered: 0.0,
+        round_complete: 0.0,
+        messages: 0,
+        link_busy: 0.0,
+    }));
+
+    // Phase 1: reports at t=0.
+    let mut reports_done = 0.0f64;
+    for _ in 0..params.n_active {
+        let done = queue.borrow_mut().send(0.0, params.report_bytes);
+        outcome.borrow_mut().messages += 1;
+        reports_done = reports_done.max(done);
+    }
+
+    // Phase 2: probes fire once all reports are in.
+    let p = *params;
+    let queue2 = Rc::clone(&queue);
+    let outcome2 = Rc::clone(&outcome);
+    engine.schedule_at(SimTime::new(reports_done), move |eng| {
+        let mut last_reply = eng.now().secs();
+        for _ in 0..p.n_spares {
+            let req_arrives = queue2
+                .borrow_mut()
+                .send(eng.now().secs(), p.probe_request_bytes);
+            let reply_arrives = queue2.borrow_mut().send(req_arrives, p.probe_reply_bytes);
+            outcome2.borrow_mut().messages += 2;
+            last_reply = last_reply.max(reply_arrives);
+        }
+
+        // Phase 3: decision.
+        let queue3 = Rc::clone(&queue2);
+        let outcome3 = Rc::clone(&outcome2);
+        eng.schedule_at(SimTime::new(last_reply + p.decision_compute), move |eng| {
+            outcome3.borrow_mut().decision_ready = eng.now().secs();
+
+            // Phase 4: directives to both sides of every swap.
+            let mut directives_done = eng.now().secs();
+            for _ in 0..(2 * p.swaps) {
+                let done = queue3
+                    .borrow_mut()
+                    .send(eng.now().secs(), p.directive_bytes);
+                outcome3.borrow_mut().messages += 1;
+                directives_done = directives_done.max(done);
+            }
+            outcome3.borrow_mut().directives_delivered = directives_done;
+
+            // Phase 5: state transfers.
+            let queue4 = Rc::clone(&queue3);
+            let outcome4 = Rc::clone(&outcome3);
+            eng.schedule_at(SimTime::new(directives_done), move |eng| {
+                let mut complete = eng.now().secs();
+                for _ in 0..p.swaps {
+                    let done = queue4.borrow_mut().send(eng.now().secs(), p.state_bytes);
+                    outcome4.borrow_mut().messages += 1;
+                    complete = complete.max(done);
+                }
+                outcome4.borrow_mut().round_complete = complete;
+            });
+        });
+    });
+
+    engine.run();
+    let mut out = *outcome.borrow();
+    out.link_busy = queue.borrow().busy_total;
+    // No-swap rounds complete when the decision is made.
+    if params.swaps == 0 {
+        out.round_complete = out.decision_ready.max(out.directives_delivered);
+        out.directives_delivered = out.round_complete;
+    }
+    out
+}
+
+/// Control-plane overhead (everything except the state transfers) of one
+/// decision round under paper-scale parameters.
+pub fn protocol_overhead(n_active: usize, n_spares: usize) -> f64 {
+    let params = ProtocolParams::hpdc03(n_active, n_spares, 0.0, 0);
+    simulate_decision_round(&params).round_complete
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_phases_are_ordered() {
+        let p = ProtocolParams::hpdc03(4, 28, 1e6, 2);
+        let out = simulate_decision_round(&p);
+        assert!(out.decision_ready > 0.0);
+        assert!(out.directives_delivered >= out.decision_ready);
+        assert!(out.round_complete >= out.directives_delivered);
+        // 4 reports + 28 probes ×2 + 4 directives + 2 transfers.
+        assert_eq!(out.messages, 4 + 56 + 4 + 2);
+    }
+
+    #[test]
+    fn control_overhead_is_negligible_at_paper_scale() {
+        // The claim the figure-level simulator relies on: for 4 active +
+        // 28 spares on the 6 MB/s LAN, measuring + deciding + directing
+        // costs milliseconds against 60 s iterations.
+        let overhead = protocol_overhead(4, 28);
+        assert!(
+            overhead < 0.05,
+            "control plane costs {overhead} s — not negligible!"
+        );
+        // And with a 1 MB swap, the state transfer dominates everything.
+        let p = ProtocolParams::hpdc03(4, 28, 1e6, 1);
+        let out = simulate_decision_round(&p);
+        let transfer = p.link.transfer_time(1e6);
+        assert!(
+            out.control_overhead(&p) < transfer * 0.2,
+            "control {} vs transfer {}",
+            out.control_overhead(&p),
+            transfer
+        );
+    }
+
+    #[test]
+    fn no_swap_round_is_pure_control() {
+        let p = ProtocolParams::hpdc03(8, 8, 1e9, 0);
+        let out = simulate_decision_round(&p);
+        assert!(out.round_complete < 0.05, "got {}", out.round_complete);
+        assert_eq!(out.messages, 8 + 16);
+    }
+
+    #[test]
+    fn state_transfer_scales_with_swaps_and_size() {
+        let small = simulate_decision_round(&ProtocolParams::hpdc03(4, 4, 1e6, 1));
+        let large = simulate_decision_round(&ProtocolParams::hpdc03(4, 4, 1e8, 1));
+        let two = simulate_decision_round(&ProtocolParams::hpdc03(4, 4, 1e8, 2));
+        assert!(large.round_complete > small.round_complete + 15.0);
+        assert!(two.round_complete > large.round_complete + 15.0);
+    }
+
+    #[test]
+    fn link_busy_accounts_for_every_message() {
+        let p = ProtocolParams::hpdc03(2, 2, 1e6, 1);
+        let out = simulate_decision_round(&p);
+        let expected = 2.0 * p.link.transfer_time(p.report_bytes)
+            + 2.0 * p.link.transfer_time(p.probe_request_bytes)
+            + 2.0 * p.link.transfer_time(p.probe_reply_bytes)
+            + 2.0 * p.link.transfer_time(p.directive_bytes)
+            + p.link.transfer_time(p.state_bytes);
+        assert!((out.link_busy - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_handlers_mean_more_control_traffic() {
+        let small = protocol_overhead(2, 2);
+        let big = protocol_overhead(16, 16);
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot swap")]
+    fn rejects_impossible_swap_counts() {
+        simulate_decision_round(&ProtocolParams::hpdc03(2, 1, 1e6, 2));
+    }
+}

@@ -1,0 +1,239 @@
+//! Replicated experiment execution.
+//!
+//! The paper uses simulation precisely because "it is infeasible to
+//! perform back-to-back experiments or to obtain reproducible results
+//! using real systems". The runner replays the *same* realized platform
+//! (same seed → same load traces) under every strategy, then aggregates
+//! across independent seeds.
+
+use crate::app::AppSpec;
+use crate::exec::RunResult;
+use crate::platform::PlatformSpec;
+use crate::strategies::{RunContext, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics over replications.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (0 for a single replication).
+    pub stderr: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample median (50th percentile).
+    pub median: f64,
+    /// 10th percentile (linear interpolation).
+    pub p10: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90: f64,
+    /// Number of replications.
+    pub n: usize,
+}
+
+/// Linear-interpolation quantile of a **sorted** sample, `q ∈ [0, 1]`.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Summarizes a sample.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Summary {
+        mean,
+        stderr: (var / n as f64).sqrt(),
+        min: sorted[0],
+        max: sorted[n - 1],
+        median: quantile_sorted(&sorted, 0.5),
+        p10: quantile_sorted(&sorted, 0.1),
+        p90: quantile_sorted(&sorted, 0.9),
+        n,
+    }
+}
+
+/// One strategy's replicated outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicatedResult {
+    /// Strategy label.
+    pub strategy: String,
+    /// Execution-time statistics across seeds.
+    pub execution_time: Summary,
+    /// Mean number of adaptation events per run.
+    pub mean_adaptations: f64,
+    /// Mean total adaptation time per run, seconds.
+    pub mean_adapt_time: f64,
+    /// The raw per-seed results.
+    #[serde(skip)]
+    pub runs: Vec<RunResult>,
+}
+
+/// Runs `strategy` on `seeds.len()` independent realizations of
+/// `spec`/`app`, allocating `allocated` processes.
+///
+/// ```
+/// use loadmodel::OnOffSource;
+/// use simulator::platform::{LoadSpec, PlatformSpec};
+/// use simulator::runner::{default_seeds, run_replicated};
+/// use simulator::strategies::{Nothing, Swap};
+/// use simulator::AppSpec;
+///
+/// let spec = PlatformSpec::hpdc03(
+///     LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.08, 30.0)),
+/// );
+/// let mut app = AppSpec::hpdc03(4, 1e6);
+/// app.iterations = 10;
+/// let seeds = default_seeds(3);
+///
+/// let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds);
+/// let swap = run_replicated(&spec, &app, &Swap::greedy(), 32, &seeds);
+/// assert!(swap.execution_time.mean < nothing.execution_time.mean);
+/// ```
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn run_replicated(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+) -> ReplicatedResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<RunResult> = seeds
+        .iter()
+        .map(|&seed| {
+            let platform = spec.realize(seed);
+            let ctx = RunContext::new(&platform, app, allocated);
+            strategy.run(&ctx)
+        })
+        .collect();
+    let times: Vec<f64> = runs.iter().map(|r| r.execution_time).collect();
+    ReplicatedResult {
+        strategy: strategy.name(),
+        execution_time: summarize(&times),
+        mean_adaptations: runs.iter().map(|r| r.adaptations as f64).sum::<f64>()
+            / runs.len() as f64,
+        mean_adapt_time: runs.iter().map(|r| r.adapt_time_total).sum::<f64>() / runs.len() as f64,
+        runs,
+    }
+}
+
+/// The default seed set for `n` replications: `0..n`.
+pub fn default_seeds(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::LoadSpec;
+    use crate::strategies::Nothing;
+    use loadmodel::OnOffSource;
+    use simkit::link::SharedLink;
+
+    fn tiny_spec(load: LoadSpec) -> PlatformSpec {
+        PlatformSpec {
+            n_hosts: 4,
+            speed_range: (1e8, 2e8),
+            link: SharedLink::new(1e-4, 6e6),
+            startup_per_process: 0.75,
+            load,
+            horizon: 10_000.0,
+        }
+    }
+
+    fn tiny_app() -> AppSpec {
+        AppSpec {
+            n_active: 2,
+            iterations: 5,
+            flops_per_proc_iter: 1e9,
+            bytes_per_proc_iter: 1e5,
+            process_state_bytes: 1e6,
+        }
+    }
+
+    #[test]
+    fn summarize_basic_statistics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        // var = 5/3, stderr = sqrt(5/12)
+        assert!((s.stderr - (5.0f64 / 12.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stderr() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.stderr, 0.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p10, 7.0);
+        assert_eq!(s.p90, 7.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        // p10 of [1..5]: pos 0.4 → 1.4; p90: pos 3.6 → 4.6.
+        assert!((s.p10 - 1.4).abs() < 1e-12);
+        assert!((s.p90 - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let s = summarize(&[10.0, 30.0, 20.0, 50.0, 40.0, 60.0]);
+        assert!(s.min <= s.p10 && s.p10 <= s.median);
+        assert!(s.median <= s.p90 && s.p90 <= s.max);
+    }
+
+    #[test]
+    fn replications_vary_with_seed_under_load() {
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.1, 20.0)));
+        let r = run_replicated(&spec, &tiny_app(), &Nothing, 2, &default_seeds(6));
+        assert_eq!(r.runs.len(), 6);
+        assert!(
+            r.execution_time.max > r.execution_time.min,
+            "all replications identical under random load?"
+        );
+    }
+
+    #[test]
+    fn replications_are_reproducible() {
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.4, 0.1, 20.0)));
+        let a = run_replicated(&spec, &tiny_app(), &Nothing, 2, &[1, 2, 3]);
+        let b = run_replicated(&spec, &tiny_app(), &Nothing, 2, &[1, 2, 3]);
+        assert_eq!(a.execution_time, b.execution_time);
+    }
+
+    #[test]
+    fn unloaded_platform_gives_identical_replications() {
+        let spec = tiny_spec(LoadSpec::Unloaded);
+        let r = run_replicated(&spec, &tiny_app(), &Nothing, 2, &[5, 5]);
+        assert_eq!(r.execution_time.min, r.execution_time.max);
+    }
+}

@@ -1,0 +1,237 @@
+//! Checkpoint/restart (§6, "Checkpoint/restart").
+//!
+//! "At each iteration, the execution rate is analyzed. If performance can
+//! be increased by using another set of processors, based on the same
+//! criteria used to evaluate process swapping decisions, the application
+//! is checkpointed. We simulate the overhead of starting up the
+//! application. We assume that application state information is written
+//! to a central location. Upon application restart, the checkpoint is
+//! read by each process, and execution resumes. Our simulations account
+//! for the overhead of writing and reading the checkpoint."
+//!
+//! Unlike SWAP, a restart relocates *all* processes at once (to the `N`
+//! best-predicted processors in the allocated pool), but pays the full
+//! checkpoint write + MPI restart + checkpoint read each time.
+
+use super::{RunContext, Strategy};
+use crate::exec::{probe_host, run_iteration, IterationRecord, RunResult};
+use crate::schedule::{equal_partition, fastest_hosts};
+use std::collections::HashMap;
+use swap_core::{DecisionEngine, PerfHistory, PolicyParams, ProcessorSnapshot, SwapCost};
+
+/// Checkpoint/restart driven by the same decision criteria as swapping.
+#[derive(Clone, Copy, Debug)]
+pub struct Cr {
+    policy: PolicyParams,
+}
+
+impl Cr {
+    /// CR under the greedy criteria — the paper's "CR" curves.
+    pub fn greedy() -> Self {
+        Cr {
+            policy: PolicyParams::greedy(),
+        }
+    }
+
+    /// CR under an arbitrary policy (the trigger uses the same gates as
+    /// the corresponding SWAP run).
+    pub fn new(policy: PolicyParams) -> Self {
+        Cr { policy }
+    }
+
+    /// Cost of one checkpoint/restart cycle: write all N process states to
+    /// the central store over the shared link, restart the N application
+    /// processes (0.75 s each — the spare pool stays allocated from the
+    /// initial launch), read the states back.
+    pub fn restart_cost(ctx: &RunContext<'_>) -> f64 {
+        let n = ctx.app.n_active;
+        let write = ctx
+            .platform
+            .link
+            .bulk_transfer_time(n, ctx.app.process_state_bytes);
+        let read = write;
+        write + ctx.platform.startup_time(n) + read
+    }
+}
+
+impl Strategy for Cr {
+    fn name(&self) -> String {
+        "cr".to_owned()
+    }
+
+    fn run(&self, ctx: &RunContext<'_>) -> RunResult {
+        let app = ctx.app;
+        let n = app.n_active;
+        let alloc = ctx.allocated;
+
+        let pool = fastest_hosts(ctx.platform, alloc, 0.0);
+        let mut active: Vec<usize> = pool[..n].to_vec();
+
+        let engine = DecisionEngine::new(self.policy, SwapCost::from_link(ctx.platform.link));
+        let mut histories: HashMap<usize, PerfHistory> =
+            pool.iter().map(|&h| (h, PerfHistory::new())).collect();
+
+        let startup = ctx.platform.startup_time(alloc);
+        let cycle_cost = Cr::restart_cost(ctx);
+        let mut t = startup;
+        let work = equal_partition(n, app.flops_per_proc_iter);
+        let mut iterations = Vec::with_capacity(app.iterations);
+        let mut restarts = 0usize;
+        let mut adapt_total = 0.0;
+
+        for index in 0..app.iterations {
+            let out = run_iteration(ctx.platform, app, &active, &work, t);
+
+            for (k, &h) in active.iter().enumerate() {
+                histories
+                    .get_mut(&h)
+                    .expect("active host is in pool")
+                    .record(out.end, out.measured_rates[k]);
+            }
+            for &h in pool.iter().filter(|h| !active.contains(h)) {
+                let probed = probe_host(ctx.platform, h, t, out.compute_end);
+                histories
+                    .get_mut(&h)
+                    .expect("spare host is in pool")
+                    .record(out.end, probed);
+            }
+
+            let active_during = active.clone();
+            let mut adapt_time = 0.0;
+            if index + 1 < app.iterations {
+                let iter_time = out.end - t;
+                let snapshots: Vec<ProcessorSnapshot> = pool
+                    .iter()
+                    .map(|&h| ProcessorSnapshot {
+                        id: h,
+                        active: active.contains(&h),
+                        predicted_perf: histories[&h]
+                            .predict(self.policy.predictor, self.policy.history, out.end)
+                            .expect("history has at least one sample"),
+                    })
+                    .collect();
+                // The CR trigger: would the swap criteria fire?
+                let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
+                if decision.will_swap() {
+                    // Relocate to the N best-predicted processors.
+                    let mut ranked: Vec<&ProcessorSnapshot> = snapshots.iter().collect();
+                    ranked.sort_by(|a, b| {
+                        b.predicted_perf
+                            .total_cmp(&a.predicted_perf)
+                            .then(a.id.cmp(&b.id))
+                    });
+                    active = ranked[..n].iter().map(|s| s.id).collect();
+                    adapt_time = cycle_cost;
+                    restarts += 1;
+                }
+            }
+
+            iterations.push(IterationRecord {
+                index,
+                start: t,
+                compute_end: out.compute_end,
+                end: out.end,
+                adapt_time,
+                active: active_during,
+            });
+            adapt_total += adapt_time;
+            t = out.end + adapt_time;
+        }
+
+        RunResult {
+            strategy: self.name(),
+            execution_time: t,
+            startup_time: startup,
+            adaptations: restarts,
+            adapt_time_total: adapt_total,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{moderate_onoff, small_app, small_platform};
+    use super::super::{Nothing, Swap};
+    use super::*;
+    use crate::platform::{Host, LoadSpec, Platform};
+    use loadmodel::LoadTrace;
+    use simkit::link::SharedLink;
+
+    #[test]
+    fn no_restarts_on_quiescent_platform() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let r = Cr::greedy().run(&RunContext::new(&p, &app, 8));
+        assert_eq!(r.adaptations, 0);
+    }
+
+    #[test]
+    fn restarts_away_from_persistent_load() {
+        let loaded = LoadTrace::from_intervals([(5.0, 1e9)]);
+        let p = Platform {
+            hosts: vec![
+                Host::new(1.2e8, &LoadTrace::unloaded()),
+                Host::new(1.1e8, &loaded),
+                Host::new(1.0e8, &LoadTrace::unloaded()),
+                Host::new(0.9e8, &LoadTrace::unloaded()),
+            ],
+            link: SharedLink::new(1e-4, 6e6),
+            startup_per_process: 0.75,
+        };
+        let app = small_app();
+        let r = Cr::greedy().run(&RunContext::new(&p, &app, 4));
+        assert!(r.adaptations >= 1);
+        assert!(!r.iterations.last().unwrap().active.contains(&1));
+    }
+
+    #[test]
+    fn restart_cost_includes_write_startup_read() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, 8);
+        let c = Cr::restart_cost(&ctx);
+        let transfer = p.link.bulk_transfer_time(2, app.process_state_bytes);
+        assert!((c - (2.0 * transfer + p.startup_time(2))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cr_pays_more_per_adaptation_than_swap() {
+        // Same trigger criteria, heavier mechanism: with identical
+        // platforms CR's adaptation time per event exceeds SWAP's.
+        let p = small_platform(moderate_onoff(), 2);
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, 8);
+        let cr = Cr::greedy().run(&ctx);
+        let swap = Swap::greedy().run(&ctx);
+        if cr.adaptations > 0 && swap.adaptations > 0 {
+            let per_cr = cr.adapt_time_total / cr.adaptations as f64;
+            let per_swap = swap.adapt_time_total / swap.adaptations as f64;
+            assert!(per_cr > per_swap, "cr {per_cr} <= swap {per_swap}");
+        }
+    }
+
+    #[test]
+    fn beneficial_under_persistent_load_despite_cost() {
+        let app = small_app();
+        let mut wins = 0;
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let cr = Cr::greedy().run(&RunContext::new(&p, &app, 8));
+            let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+            if cr.execution_time < nothing.execution_time {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 5, "CR won only {wins}/8 replications");
+    }
+
+    #[test]
+    fn deterministic_given_platform() {
+        let p = small_platform(moderate_onoff(), 3);
+        let app = small_app();
+        let a = Cr::greedy().run(&RunContext::new(&p, &app, 8));
+        let b = Cr::greedy().run(&RunContext::new(&p, &app, 8));
+        assert_eq!(a.execution_time, b.execution_time);
+    }
+}

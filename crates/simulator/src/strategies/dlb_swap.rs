@@ -1,0 +1,213 @@
+//! DLB + swapping hybrid — the paper's §2 suggestion, built out.
+//!
+//! "The performance of an application that supports dynamic load
+//! balancing is limited by the achievable performance on the processors
+//! that are used. … a DLB implementation could further improve
+//! performance through the use of an over-allocation mechanism similar
+//! to the one used in our approach."
+//!
+//! This strategy rebalances work every iteration (like [`super::Dlb`])
+//! *and* runs the swap decision engine over the over-allocated pool
+//! (like [`super::Swap`]): load balancing handles intra-set skew, while
+//! swapping escapes processors whose absolute performance has collapsed.
+
+use super::{RunContext, Strategy};
+use crate::exec::{probe_host, run_iteration, IterationRecord, RunResult};
+use crate::schedule::{balanced_partition, fastest_hosts};
+use std::collections::HashMap;
+use swap_core::{DecisionEngine, PerfHistory, PolicyParams, ProcessorSnapshot, SwapCost};
+
+/// Ideal DLB over an over-allocated pool, with policy-driven swapping.
+#[derive(Clone, Copy, Debug)]
+pub struct DlbSwap {
+    policy: PolicyParams,
+}
+
+impl DlbSwap {
+    /// The hybrid under the greedy policy.
+    pub fn greedy() -> Self {
+        DlbSwap {
+            policy: PolicyParams::greedy(),
+        }
+    }
+
+    /// The hybrid under an arbitrary policy.
+    pub fn new(policy: PolicyParams) -> Self {
+        DlbSwap { policy }
+    }
+}
+
+impl Strategy for DlbSwap {
+    fn name(&self) -> String {
+        "dlb+swap".to_owned()
+    }
+
+    fn run(&self, ctx: &RunContext<'_>) -> RunResult {
+        let app = ctx.app;
+        let n = app.n_active;
+        let alloc = ctx.allocated;
+        let total = app.total_flops_per_iter();
+
+        let pool = fastest_hosts(ctx.platform, alloc, 0.0);
+        let mut active: Vec<usize> = pool[..n].to_vec();
+
+        let engine = DecisionEngine::new(self.policy, SwapCost::from_link(ctx.platform.link));
+        let mut histories: HashMap<usize, PerfHistory> =
+            pool.iter().map(|&h| (h, PerfHistory::new())).collect();
+
+        let startup = ctx.platform.startup_time(alloc);
+        let mut t = startup;
+        let mut iterations = Vec::with_capacity(app.iterations);
+        let mut swaps = 0usize;
+        let mut adapt_total = 0.0;
+
+        for index in 0..app.iterations {
+            // DLB half: rebalance on the speeds observed right now.
+            let speeds: Vec<f64> = active
+                .iter()
+                .map(|&h| ctx.platform.hosts[h].delivered_at(t))
+                .collect();
+            let work = balanced_partition(total, &speeds);
+            let out = run_iteration(ctx.platform, app, &active, &work, t);
+
+            for (k, &h) in active.iter().enumerate() {
+                histories
+                    .get_mut(&h)
+                    .expect("active host is in pool")
+                    .record(out.end, out.measured_rates[k]);
+            }
+            for &h in pool.iter().filter(|h| !active.contains(h)) {
+                let probed = probe_host(ctx.platform, h, t, out.compute_end);
+                histories
+                    .get_mut(&h)
+                    .expect("spare host is in pool")
+                    .record(out.end, probed);
+            }
+
+            let active_during = active.clone();
+            // Swap half: same decision path as the SWAP strategy.
+            let mut adapt_time = 0.0;
+            if index + 1 < app.iterations {
+                let iter_time = out.end - t;
+                let snapshots: Vec<ProcessorSnapshot> = pool
+                    .iter()
+                    .map(|&h| ProcessorSnapshot {
+                        id: h,
+                        active: active.contains(&h),
+                        predicted_perf: histories[&h]
+                            .predict(self.policy.predictor, self.policy.history, out.end)
+                            .expect("history has at least one sample"),
+                    })
+                    .collect();
+                let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
+                for pair in &decision.pairs {
+                    let slot = active
+                        .iter()
+                        .position(|&h| h == pair.from)
+                        .expect("engine swaps an active host");
+                    active[slot] = pair.to;
+                    adapt_time += ctx.platform.link.transfer_time(app.process_state_bytes);
+                }
+                swaps += decision.pairs.len();
+            }
+
+            iterations.push(IterationRecord {
+                index,
+                start: t,
+                compute_end: out.compute_end,
+                end: out.end,
+                adapt_time,
+                active: active_during,
+            });
+            adapt_total += adapt_time;
+            t = out.end + adapt_time;
+        }
+
+        RunResult {
+            strategy: self.name(),
+            execution_time: t,
+            startup_time: startup,
+            adaptations: swaps,
+            adapt_time_total: adapt_total,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{moderate_onoff, small_app, small_platform};
+    use super::super::{Dlb, Nothing, Swap};
+    use super::*;
+    use crate::platform::LoadSpec;
+
+    #[test]
+    fn matches_dlb_plus_startup_when_quiescent() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let hybrid = DlbSwap::greedy().run(&RunContext::new(&p, &app, 8));
+        let dlb = Dlb.run(&RunContext::new(&p, &app, 2));
+        let extra_startup = p.startup_time(8) - p.startup_time(2);
+        assert_eq!(hybrid.adaptations, 0);
+        assert!(
+            (hybrid.execution_time - dlb.execution_time - extra_startup).abs() < 1e-6,
+            "hybrid {} vs dlb {} (+{extra_startup})",
+            hybrid.execution_time,
+            dlb.execution_time
+        );
+    }
+
+    #[test]
+    fn usually_beats_pure_dlb_under_persistent_load() {
+        let app = small_app();
+        let mut wins = 0;
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let hybrid = DlbSwap::greedy().run(&RunContext::new(&p, &app, 8));
+            let dlb = Dlb.run(&RunContext::new(&p, &app, 2));
+            if hybrid.execution_time < dlb.execution_time {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 5, "hybrid beat pure DLB only {wins}/8 times");
+    }
+
+    #[test]
+    fn usually_at_least_as_good_as_pure_swap() {
+        let app = small_app();
+        let mut wins = 0;
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let hybrid = DlbSwap::greedy().run(&RunContext::new(&p, &app, 8));
+            let swap = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+            if hybrid.execution_time <= swap.execution_time * 1.02 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 5, "hybrid ~beat pure SWAP only {wins}/8 times");
+    }
+
+    #[test]
+    fn beats_nothing_under_load() {
+        let app = small_app();
+        let mut wins = 0;
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let hybrid = DlbSwap::greedy().run(&RunContext::new(&p, &app, 8));
+            let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+            if hybrid.execution_time < nothing.execution_time {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 6, "hybrid beat NOTHING only {wins}/8 times");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = small_platform(moderate_onoff(), 3);
+        let app = small_app();
+        let a = DlbSwap::greedy().run(&RunContext::new(&p, &app, 8));
+        let b = DlbSwap::greedy().run(&RunContext::new(&p, &app, 8));
+        assert_eq!(a.execution_time, b.execution_time);
+    }
+}

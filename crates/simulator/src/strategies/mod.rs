@@ -1,0 +1,104 @@
+//! The four execution strategies compared in §7.
+//!
+//! All strategies share the BSP execution core ([`crate::exec`]) and the
+//! initial-schedule rules ([`crate::schedule`]); they differ only in what
+//! they do at iteration boundaries.
+
+mod cr;
+mod dlb;
+mod dlb_swap;
+mod nothing;
+mod oracle;
+mod swap;
+
+pub use cr::Cr;
+pub use dlb::Dlb;
+pub use dlb_swap::DlbSwap;
+pub use nothing::Nothing;
+pub use oracle::Oracle;
+pub use swap::Swap;
+
+use crate::app::AppSpec;
+use crate::exec::RunResult;
+use crate::platform::Platform;
+
+/// Everything a strategy needs for one run.
+#[derive(Clone, Copy)]
+pub struct RunContext<'a> {
+    /// The realized platform (hosts with load traces, the shared link).
+    pub platform: &'a Platform,
+    /// The application description.
+    pub app: &'a AppSpec,
+    /// Processes allocated at startup. For SWAP and CR this is
+    /// `N + M` (over-allocation); NOTHING and DLB allocate exactly `N`
+    /// regardless. Clamped to the platform size.
+    pub allocated: usize,
+}
+
+impl<'a> RunContext<'a> {
+    /// Creates a context, validating the application spec against the
+    /// platform.
+    ///
+    /// # Panics
+    /// Panics if the app needs more active processors than the platform
+    /// has, or the spec fails [`AppSpec::validate`].
+    pub fn new(platform: &'a Platform, app: &'a AppSpec, allocated: usize) -> Self {
+        app.validate();
+        assert!(
+            app.n_active <= platform.hosts.len(),
+            "application needs {} processors, platform has {}",
+            app.n_active,
+            platform.hosts.len()
+        );
+        RunContext {
+            platform,
+            app,
+            allocated: allocated.clamp(app.n_active, platform.hosts.len()),
+        }
+    }
+}
+
+/// An execution strategy: how the application reacts (or not) to the
+/// changing environment.
+pub trait Strategy {
+    /// Human-readable label used in results and figures.
+    fn name(&self) -> String;
+    /// Simulates one full application run.
+    fn run(&self, ctx: &RunContext<'_>) -> RunResult;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::platform::{LoadSpec, Platform, PlatformSpec};
+    use crate::AppSpec;
+    use loadmodel::OnOffSource;
+    use simkit::link::SharedLink;
+
+    /// A small, fast platform/app pair for strategy unit tests.
+    pub fn small_platform(load: LoadSpec, seed: u64) -> Platform {
+        PlatformSpec {
+            n_hosts: 8,
+            speed_range: (1e8, 2e8),
+            link: SharedLink::new(1e-4, 6e6),
+            startup_per_process: 0.75,
+            load,
+            horizon: 20_000.0,
+        }
+        .realize(seed)
+    }
+
+    pub fn small_app() -> AppSpec {
+        AppSpec {
+            n_active: 2,
+            iterations: 10,
+            flops_per_proc_iter: 3e9, // 15–30 s/iteration on these hosts
+            bytes_per_proc_iter: 1e5,
+            process_state_bytes: 1e6,
+        }
+    }
+
+    pub fn moderate_onoff() -> LoadSpec {
+        // Long-lived load events (mean ON = 250 s) at 50% duty.
+        LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.08, 20.0))
+    }
+}

@@ -1,0 +1,112 @@
+//! The NOTHING baseline: schedule once, never adapt.
+
+use super::{RunContext, Strategy};
+use crate::exec::{run_iteration, IterationRecord, RunResult};
+use crate::schedule::{equal_partition, fastest_hosts};
+
+/// "Do nothing": start on the `N` fastest processors and stay there,
+/// equal work partition, whatever the environment does afterwards.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Nothing;
+
+impl Strategy for Nothing {
+    fn name(&self) -> String {
+        "nothing".to_owned()
+    }
+
+    fn run(&self, ctx: &RunContext<'_>) -> RunResult {
+        let n = ctx.app.n_active;
+        let active = fastest_hosts(ctx.platform, n, 0.0);
+        let work = equal_partition(n, ctx.app.flops_per_proc_iter);
+
+        let startup = ctx.platform.startup_time(n);
+        let mut t = startup;
+        let mut iterations = Vec::with_capacity(ctx.app.iterations);
+        for index in 0..ctx.app.iterations {
+            let out = run_iteration(ctx.platform, ctx.app, &active, &work, t);
+            iterations.push(IterationRecord {
+                index,
+                start: t,
+                compute_end: out.compute_end,
+                end: out.end,
+                adapt_time: 0.0,
+                active: active.clone(),
+            });
+            t = out.end;
+        }
+
+        RunResult {
+            strategy: self.name(),
+            execution_time: t,
+            startup_time: startup,
+            adaptations: 0,
+            adapt_time_total: 0.0,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{moderate_onoff, small_app, small_platform};
+    use super::*;
+    use crate::platform::LoadSpec;
+
+    #[test]
+    fn unloaded_run_time_is_deterministic_and_exact() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, app.n_active);
+        let r = Nothing.run(&ctx);
+
+        // The two fastest hosts bound each iteration; work/speed of the
+        // slower of the two plus the comm phase.
+        let active = crate::schedule::fastest_hosts(&p, 2, 0.0);
+        let slowest = p.hosts[active[1]].speed;
+        let compute = app.flops_per_proc_iter / slowest;
+        let comm = p.link.bulk_transfer_time(2, app.bytes_per_proc_iter);
+        let expected = p.startup_time(2) + 10.0 * (compute + comm);
+        assert!(
+            (r.execution_time - expected).abs() < 1e-6,
+            "got {}, expected {expected}",
+            r.execution_time
+        );
+        assert_eq!(r.adaptations, 0);
+        assert_eq!(r.iterations.len(), 10);
+    }
+
+    #[test]
+    fn never_changes_processors() {
+        let p = small_platform(moderate_onoff(), 42);
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, app.n_active);
+        let r = Nothing.run(&ctx);
+        let first = &r.iterations[0].active;
+        assert!(r.iterations.iter().all(|it| &it.active == first));
+    }
+
+    #[test]
+    fn load_makes_runs_slower_than_unloaded() {
+        let app = small_app();
+        let quiet = small_platform(LoadSpec::Unloaded, 7);
+        let busy = small_platform(moderate_onoff(), 7);
+        let r_quiet = Nothing.run(&RunContext::new(&quiet, &app, 2));
+        let r_busy = Nothing.run(&RunContext::new(&busy, &app, 2));
+        assert!(
+            r_busy.execution_time > r_quiet.execution_time,
+            "busy {} <= quiet {}",
+            r_busy.execution_time,
+            r_quiet.execution_time
+        );
+    }
+
+    #[test]
+    fn allocation_surplus_is_ignored() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let a = Nothing.run(&RunContext::new(&p, &app, 2));
+        let b = Nothing.run(&RunContext::new(&p, &app, 8));
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.startup_time, p.startup_time(2));
+    }
+}

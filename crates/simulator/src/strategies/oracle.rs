@@ -1,0 +1,141 @@
+//! Clairvoyant upper bound.
+//!
+//! Not in the paper — an analysis tool this reproduction adds. The
+//! oracle sees the *future*: before every iteration it places the
+//! application on the `N` hosts that will deliver the most capacity over
+//! the upcoming iteration, paying nothing to move. No measurement-driven
+//! policy can beat it; the gap between a policy and the oracle is the
+//! value still obtainable from better prediction (`ablation_oracle`
+//! quantifies it).
+
+use super::{RunContext, Strategy};
+use crate::exec::{run_iteration, IterationRecord, RunResult};
+use crate::schedule::equal_partition;
+
+/// Free-migration, future-seeing host selection — an upper bound on every
+/// swapping policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Oracle;
+
+impl Oracle {
+    /// Picks the `n` hosts with the highest delivered capacity over
+    /// `[t, t + window]`, best first.
+    fn best_hosts_over(ctx: &RunContext<'_>, n: usize, t: f64, window: f64) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..ctx.platform.hosts.len()).collect();
+        ids.sort_by(|&a, &b| {
+            let ca = ctx.platform.hosts[a].cpu.capacity(t, t + window);
+            let cb = ctx.platform.hosts[b].cpu.capacity(t, t + window);
+            cb.total_cmp(&ca).then(a.cmp(&b))
+        });
+        ids.truncate(n);
+        ids
+    }
+}
+
+impl Strategy for Oracle {
+    fn name(&self) -> String {
+        "oracle".to_owned()
+    }
+
+    fn run(&self, ctx: &RunContext<'_>) -> RunResult {
+        let app = ctx.app;
+        let n = app.n_active;
+        let work = equal_partition(n, app.flops_per_proc_iter);
+        // Startup like NOTHING: the oracle needs no spare pool.
+        let startup = ctx.platform.startup_time(n);
+        let mut t = startup;
+        // Look-ahead window: the unloaded iteration time on a mid-range
+        // host, refined to the previous iteration's actual length.
+        let mut window = app.unloaded_iter_time(3.0e8);
+        let mut iterations = Vec::with_capacity(app.iterations);
+        let mut moves = 0usize;
+        let mut prev_active: Option<Vec<usize>> = None;
+
+        for index in 0..app.iterations {
+            let active = Oracle::best_hosts_over(ctx, n, t, window);
+            if let Some(prev) = &prev_active {
+                moves += active.iter().filter(|h| !prev.contains(h)).count();
+            }
+            let out = run_iteration(ctx.platform, app, &active, &work, t);
+            window = out.end - t;
+            iterations.push(IterationRecord {
+                index,
+                start: t,
+                compute_end: out.compute_end,
+                end: out.end,
+                adapt_time: 0.0,
+                active: active.clone(),
+            });
+            prev_active = Some(active);
+            t = out.end;
+        }
+
+        RunResult {
+            strategy: self.name(),
+            execution_time: t,
+            startup_time: startup,
+            adaptations: moves,
+            adapt_time_total: 0.0,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{moderate_onoff, small_app, small_platform};
+    use super::super::{Nothing, Swap};
+    use super::*;
+    use crate::platform::LoadSpec;
+
+    #[test]
+    fn matches_nothing_when_quiescent() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, 2);
+        let oracle = Oracle.run(&ctx);
+        let nothing = Nothing.run(&ctx);
+        assert!((oracle.execution_time - nothing.execution_time).abs() < 1e-6);
+        assert_eq!(oracle.adaptations, 0);
+    }
+
+    #[test]
+    fn never_loses_to_greedy_swapping() {
+        let app = small_app();
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let oracle = Oracle.run(&RunContext::new(&p, &app, 8));
+            let greedy = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+            assert!(
+                oracle.execution_time <= greedy.execution_time + 1e-6,
+                "seed {seed}: oracle {} > greedy {}",
+                oracle.execution_time,
+                greedy.execution_time
+            );
+        }
+    }
+
+    #[test]
+    fn beats_nothing_under_load() {
+        let app = small_app();
+        let mut wins = 0;
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let oracle = Oracle.run(&RunContext::new(&p, &app, 2));
+            let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+            if oracle.execution_time < nothing.execution_time {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 7, "oracle won only {wins}/8");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = small_platform(moderate_onoff(), 3);
+        let app = small_app();
+        let a = Oracle.run(&RunContext::new(&p, &app, 2));
+        let b = Oracle.run(&RunContext::new(&p, &app, 2));
+        assert_eq!(a.execution_time, b.execution_time);
+    }
+}

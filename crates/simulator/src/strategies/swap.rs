@@ -1,0 +1,317 @@
+//! The SWAP strategy: MPI process swapping under a policy (§3, §6).
+//!
+//! "Over-allocated, spare processors are left idle … an application does
+//! not consume more resources because of over-allocation." At the end of
+//! each iteration the swap manager collects performance measurements for
+//! every allocated processor (active processes report their achieved
+//! compute rate; swap handlers probe the spares), feeds them through the
+//! policy's history window/predictor, and asks the decision engine
+//! whether to exchange the slowest active processor(s) for the fastest
+//! spare(s). Each admitted exchange pauses the application for
+//! `α + state/β` while the process state crosses the shared link.
+
+use super::{RunContext, Strategy};
+use crate::exec::{probe_host, run_iteration, IterationRecord, RunResult};
+use crate::schedule::{equal_partition, fastest_hosts};
+use std::collections::HashMap;
+use swap_core::{DecisionEngine, PerfHistory, PolicyParams, ProcessorSnapshot, SwapCost};
+
+/// MPI process swapping with a configurable policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Swap {
+    policy: PolicyParams,
+    label: &'static str,
+    max_swaps: Option<usize>,
+}
+
+impl Swap {
+    /// Swapping under an arbitrary policy (labelled "custom").
+    pub fn new(policy: PolicyParams) -> Self {
+        Swap {
+            policy,
+            label: "custom",
+            max_swaps: None,
+        }
+    }
+
+    /// The greedy policy — the paper's default "SWAP" in Figures 4–6.
+    pub fn greedy() -> Self {
+        Swap {
+            policy: PolicyParams::greedy(),
+            label: "greedy",
+            max_swaps: None,
+        }
+    }
+
+    /// The safe policy.
+    pub fn safe() -> Self {
+        Swap {
+            policy: PolicyParams::safe(),
+            label: "safe",
+            max_swaps: None,
+        }
+    }
+
+    /// The friendly policy.
+    pub fn friendly() -> Self {
+        Swap {
+            policy: PolicyParams::friendly(),
+            label: "friendly",
+            max_swaps: None,
+        }
+    }
+
+    /// Caps exchanges per decision point (ablation knob; the paper's
+    /// policies swap "the slowest active processor(s) for the fastest
+    /// inactive processor(s)" — i.e., possibly several at once).
+    pub fn with_max_swaps(mut self, max: usize) -> Self {
+        self.max_swaps = Some(max);
+        self
+    }
+
+    /// The policy driving this strategy.
+    pub fn policy(&self) -> &PolicyParams {
+        &self.policy
+    }
+}
+
+impl Strategy for Swap {
+    fn name(&self) -> String {
+        format!("swap({})", self.label)
+    }
+
+    fn run(&self, ctx: &RunContext<'_>) -> RunResult {
+        let app = ctx.app;
+        let n = app.n_active;
+        let alloc = ctx.allocated;
+
+        // Allocate the `alloc` best processors at startup; start computing
+        // on the best N of those.
+        let pool = fastest_hosts(ctx.platform, alloc, 0.0);
+        let mut active: Vec<usize> = pool[..n].to_vec();
+
+        let mut engine = DecisionEngine::new(self.policy, SwapCost::from_link(ctx.platform.link));
+        if let Some(max) = self.max_swaps {
+            engine = engine.with_max_swaps(max);
+        }
+        let mut histories: HashMap<usize, PerfHistory> =
+            pool.iter().map(|&h| (h, PerfHistory::new())).collect();
+
+        let startup = ctx.platform.startup_time(alloc);
+        let mut t = startup;
+        let work = equal_partition(n, app.flops_per_proc_iter);
+        let mut iterations = Vec::with_capacity(app.iterations);
+        let mut swaps = 0usize;
+        let mut adapt_total = 0.0;
+
+        for index in 0..app.iterations {
+            let out = run_iteration(ctx.platform, app, &active, &work, t);
+
+            // Measurement: active processes report achieved compute rate;
+            // spares are probed over the same window.
+            for (k, &h) in active.iter().enumerate() {
+                histories
+                    .get_mut(&h)
+                    .expect("active host is in pool")
+                    .record(out.end, out.measured_rates[k]);
+            }
+            for &h in pool.iter().filter(|h| !active.contains(h)) {
+                let probed = probe_host(ctx.platform, h, t, out.compute_end);
+                histories
+                    .get_mut(&h)
+                    .expect("spare host is in pool")
+                    .record(out.end, probed);
+            }
+
+            let active_during = active.clone();
+
+            // Decision point. The last iteration performs no swap — there
+            // is nothing left to amortize against.
+            let mut adapt_time = 0.0;
+            if index + 1 < app.iterations {
+                let iter_time = out.end - t;
+                let snapshots: Vec<ProcessorSnapshot> = pool
+                    .iter()
+                    .map(|&h| ProcessorSnapshot {
+                        id: h,
+                        active: active.contains(&h),
+                        predicted_perf: histories[&h]
+                            .predict(self.policy.predictor, self.policy.history, out.end)
+                            .expect("history has at least one sample"),
+                    })
+                    .collect();
+                let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
+                for pair in &decision.pairs {
+                    let slot = active
+                        .iter()
+                        .position(|&h| h == pair.from)
+                        .expect("engine swaps an active host");
+                    active[slot] = pair.to;
+                    adapt_time += ctx.platform.link.transfer_time(app.process_state_bytes);
+                }
+                swaps += decision.pairs.len();
+            }
+
+            iterations.push(IterationRecord {
+                index,
+                start: t,
+                compute_end: out.compute_end,
+                end: out.end,
+                adapt_time,
+                active: active_during,
+            });
+            adapt_total += adapt_time;
+            t = out.end + adapt_time;
+        }
+
+        RunResult {
+            strategy: self.name(),
+            execution_time: t,
+            startup_time: startup,
+            adaptations: swaps,
+            adapt_time_total: adapt_total,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{moderate_onoff, small_app, small_platform};
+    use super::super::Nothing;
+    use super::*;
+    use crate::platform::{Host, LoadSpec, Platform};
+    use loadmodel::LoadTrace;
+    use simkit::link::SharedLink;
+
+    #[test]
+    fn no_swaps_on_a_quiescent_platform() {
+        let p = small_platform(LoadSpec::Unloaded, 0);
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, 8);
+        let r = Swap::greedy().run(&ctx);
+        assert_eq!(r.adaptations, 0, "nothing to gain, nothing swapped");
+        // Identical per-iteration behaviour to NOTHING, except the larger
+        // startup (8 vs 2 processes).
+        let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+        let extra_startup = p.startup_time(8) - p.startup_time(2);
+        assert!((r.execution_time - nothing.execution_time - extra_startup).abs() < 1e-6);
+    }
+
+    #[test]
+    fn swaps_away_from_a_permanently_loaded_host() {
+        // Two fast hosts, one of which becomes loaded after startup; two
+        // idle spares. Greedy must move off the loaded host.
+        let loaded = LoadTrace::from_intervals([(5.0, 1e9)]);
+        let p = Platform {
+            hosts: vec![
+                Host::new(1.2e8, &LoadTrace::unloaded()),
+                Host::new(1.1e8, &loaded),
+                Host::new(1.0e8, &LoadTrace::unloaded()),
+                Host::new(0.9e8, &LoadTrace::unloaded()),
+            ],
+            link: SharedLink::new(1e-4, 6e6),
+            startup_per_process: 0.75,
+        };
+        let app = small_app();
+        let ctx = RunContext::new(&p, &app, 4);
+        let r = Swap::greedy().run(&ctx);
+        assert!(r.adaptations >= 1, "expected at least one swap");
+        let last_active = &r.iterations.last().unwrap().active;
+        assert!(
+            !last_active.contains(&1),
+            "loaded host 1 still active at the end: {last_active:?}"
+        );
+
+        // And the adaptive run beats doing nothing.
+        let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+        assert!(
+            r.execution_time < nothing.execution_time,
+            "swap {} vs nothing {}",
+            r.execution_time,
+            nothing.execution_time
+        );
+    }
+
+    #[test]
+    fn beneficial_under_persistent_onoff_load() {
+        let app = small_app();
+        let mut swap_wins = 0;
+        for seed in 0..8 {
+            let p = small_platform(moderate_onoff(), seed);
+            let swap = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+            let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+            if swap.execution_time < nothing.execution_time {
+                swap_wins += 1;
+            }
+        }
+        assert!(
+            swap_wins >= 6,
+            "greedy swapping won only {swap_wins}/8 replications"
+        );
+    }
+
+    #[test]
+    fn huge_state_makes_greedy_swapping_harmful() {
+        // Swap time (1 GB / 6 MB/s ≈ 167 s) far exceeds the iteration
+        // time (~15–30 s): the Figure 8 pathology.
+        let mut app = small_app();
+        app.process_state_bytes = 1e9;
+        let mut greedy_worse = 0;
+        for seed in 0..6 {
+            let p = small_platform(moderate_onoff(), seed);
+            let greedy = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+            let nothing = Nothing.run(&RunContext::new(&p, &app, 2));
+            if greedy.adaptations > 0 && greedy.execution_time > nothing.execution_time {
+                greedy_worse += 1;
+            }
+        }
+        assert!(
+            greedy_worse >= 3,
+            "expected greedy to hurt with 1 GB state, hurt in {greedy_worse}/6"
+        );
+    }
+
+    #[test]
+    fn safe_swaps_at_most_as_often_as_greedy() {
+        let app = small_app();
+        for seed in 0..5 {
+            let p = small_platform(moderate_onoff(), seed);
+            let greedy = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+            let safe = Swap::safe().run(&RunContext::new(&p, &app, 8));
+            assert!(
+                safe.adaptations <= greedy.adaptations,
+                "seed {seed}: safe {} > greedy {}",
+                safe.adaptations,
+                greedy.adaptations
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_platform() {
+        let p = small_platform(moderate_onoff(), 3);
+        let app = small_app();
+        let a = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+        let b = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.adaptations, b.adaptations);
+    }
+
+    #[test]
+    fn no_overallocation_means_no_swaps() {
+        let p = small_platform(moderate_onoff(), 4);
+        let app = small_app();
+        let r = Swap::greedy().run(&RunContext::new(&p, &app, 2));
+        assert_eq!(r.adaptations, 0);
+    }
+
+    #[test]
+    fn adapt_time_matches_swap_count() {
+        let p = small_platform(moderate_onoff(), 5);
+        let app = small_app();
+        let r = Swap::greedy().run(&RunContext::new(&p, &app, 8));
+        let per_swap = p.link.transfer_time(app.process_state_bytes);
+        assert!((r.adapt_time_total - r.adaptations as f64 * per_swap).abs() < 1e-9);
+    }
+}

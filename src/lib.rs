@@ -1,0 +1,18 @@
+//! # mpi-swap — facade crate
+//!
+//! Re-exports the whole workspace behind one dependency. See the README
+//! for the architecture overview and `DESIGN.md` for the paper mapping.
+//!
+//! * [`swap_core`] — policies, payback algebra, decision engine (the
+//!   paper's contribution).
+//! * [`simkit`] — discrete-event + fluid simulation substrate.
+//! * [`loadmodel`] — ON/OFF and hyperexponential CPU load models.
+//! * [`minimpi`] — in-process MPI-like runtime with live process swapping.
+//! * [`simulator`] — platform/application models and the four execution
+//!   strategies (NOTHING, SWAP, DLB, CR) plus the experiment runner.
+
+pub use loadmodel;
+pub use minimpi;
+pub use simkit;
+pub use simulator;
+pub use swap_core;

@@ -1,0 +1,199 @@
+//! Integration tests: the live (thread-based) runtime against the same
+//! policies the simulator uses — the two stacks share one decision path.
+
+use mpi_swap::loadmodel::LoadTrace;
+use mpi_swap::minimpi::apps::{JacobiApp, ParticleApp};
+use mpi_swap::minimpi::runtime::{run_iterative, Decider, RuntimeConfig};
+use mpi_swap::swap_core::{PolicyParams, SwapCost};
+
+fn crushed(k: usize) -> LoadTrace {
+    LoadTrace::from_intervals(std::iter::repeat((0.0, 1e9)).take(k).collect::<Vec<_>>())
+}
+
+#[test]
+fn greedy_policy_evicts_the_loaded_worker_live() {
+    let mut cfg = RuntimeConfig::new(4, 2, 10);
+    cfg.decider = Decider::Policy(PolicyParams::greedy());
+    cfg.loads = vec![
+        LoadTrace::unloaded(),
+        crushed(4),
+        LoadTrace::unloaded(),
+        LoadTrace::unloaded(),
+    ];
+    cfg.compression = 1000.0;
+    cfg.cost = SwapCost::new(0.0, 1e12);
+    let report = run_iterative(cfg, JacobiApp { cells_per_rank: 16 });
+    assert!(report.swap_count() >= 1);
+    assert_ne!(report.final_placement[1], 1, "loaded worker still active");
+    assert_eq!(report.iterations_run, 10);
+}
+
+#[test]
+fn swapped_and_unswapped_jacobi_agree_bitwise() {
+    let app = JacobiApp { cells_per_rank: 32 };
+    let baseline = run_iterative(RuntimeConfig::new(3, 3, 25), app);
+    let mut cfg = RuntimeConfig::new(6, 3, 25);
+    cfg.decider = Decider::ForceEvery(1);
+    let swapped = run_iterative(cfg, app);
+    assert!(swapped.swap_count() >= 20);
+    assert_eq!(baseline.final_states, swapped.final_states);
+}
+
+#[test]
+fn safe_policy_swaps_less_than_greedy_on_noise() {
+    // No injected load: any perceived "improvement" is wall-clock jitter.
+    // Greedy may chase it; safe's 20% stiction and payback gate must not.
+    let run = |policy: PolicyParams| {
+        let mut cfg = RuntimeConfig::new(5, 2, 12);
+        cfg.decider = Decider::Policy(policy);
+        cfg.compression = 1000.0;
+        // Realistic swap cost so payback actually gates.
+        cfg.cost = SwapCost::new(1e-4, 6e6);
+        run_iterative(
+            cfg,
+            ParticleApp {
+                particles_per_rank: 16,
+                dt: 0.01,
+            },
+        )
+    };
+    let greedy = run(PolicyParams::greedy());
+    let safe = run(PolicyParams::safe());
+    assert!(
+        safe.swap_count() <= greedy.swap_count(),
+        "safe {} > greedy {}",
+        safe.swap_count(),
+        greedy.swap_count()
+    );
+}
+
+#[test]
+fn policy_swap_events_respect_the_payback_threshold() {
+    let threshold = 2.0;
+    let mut cfg = RuntimeConfig::new(4, 2, 15);
+    cfg.decider = Decider::Policy(PolicyParams::greedy().with_payback_threshold(threshold));
+    cfg.loads = vec![
+        crushed(2),
+        LoadTrace::unloaded(),
+        LoadTrace::unloaded(),
+        LoadTrace::unloaded(),
+    ];
+    cfg.compression = 1000.0;
+    cfg.cost = SwapCost::new(1e-4, 6e6);
+    let report = run_iterative(cfg, JacobiApp { cells_per_rank: 16 });
+    for e in &report.swap_events {
+        assert!(
+            e.payback >= 0.0 && e.payback <= threshold,
+            "swap at iter {} violated the threshold: payback {}",
+            e.iter,
+            e.payback
+        );
+    }
+}
+
+#[test]
+fn over_allocation_is_inert_without_load() {
+    // Spares must not change results or iteration counts.
+    let app = ParticleApp {
+        particles_per_rank: 8,
+        dt: 0.02,
+    };
+    let lean = run_iterative(RuntimeConfig::new(2, 2, 10), app);
+    let fat = run_iterative(RuntimeConfig::new(8, 2, 10), app);
+    assert_eq!(lean.final_states, fat.final_states);
+    assert_eq!(lean.iterations_run, fat.iterations_run);
+}
+
+mod swap_transparency_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Whatever the worker count, spare count, swap cadence and app
+        /// size: a forcibly-swapped Jacobi run is bitwise identical to
+        /// the unswapped one.
+        #[test]
+        fn prop_forced_swaps_are_transparent(
+            n_active in 1usize..4,
+            extra in 1usize..4,
+            cells in 2usize..24,
+            iterations in 2usize..12,
+            period in 1usize..4,
+        ) {
+            let app = JacobiApp { cells_per_rank: cells };
+            let baseline = run_iterative(
+                RuntimeConfig::new(n_active, n_active, iterations),
+                app,
+            );
+            let mut cfg = RuntimeConfig::new(n_active + extra, n_active, iterations);
+            cfg.decider = Decider::ForceEvery(period);
+            let swapped = run_iterative(cfg, app);
+            prop_assert_eq!(baseline.final_states, swapped.final_states);
+            prop_assert_eq!(baseline.iterations_run, swapped.iterations_run);
+        }
+
+        /// Evictions at arbitrary (valid) points are equally transparent.
+        #[test]
+        fn prop_evictions_are_transparent(
+            n_active in 1usize..3,
+            cells in 2usize..16,
+            evict_at in 1usize..5,
+        ) {
+            let iterations = 6;
+            let app = JacobiApp { cells_per_rank: cells };
+            let baseline = run_iterative(
+                RuntimeConfig::new(n_active, n_active, iterations),
+                app,
+            );
+            let mut cfg = RuntimeConfig::new(n_active + 2, n_active, iterations);
+            cfg.evictions = vec![(evict_at.min(iterations - 1), 0)];
+            let evicted = run_iterative(cfg, app);
+            prop_assert_eq!(baseline.final_states, evicted.final_states);
+            prop_assert_eq!(evicted.swap_events.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn stress_many_workers_and_constant_swapping() {
+    // 6 active + 10 spares, a swap forced after every one of 40
+    // iterations, with the kinetic-energy allreduce and position
+    // allgather in flight: protocol must stay deadlock-free and exact.
+    let app = ParticleApp {
+        particles_per_rank: 6,
+        dt: 0.01,
+    };
+    let baseline = run_iterative(RuntimeConfig::new(6, 6, 40), app);
+    let mut cfg = RuntimeConfig::new(16, 6, 40);
+    cfg.decider = Decider::ForceEvery(1);
+    let swapped = run_iterative(cfg, app);
+    assert_eq!(swapped.iterations_run, 40);
+    assert!(
+        swapped.swap_count() >= 35,
+        "swaps: {}",
+        swapped.swap_count()
+    );
+    assert_eq!(baseline.final_states, swapped.final_states);
+}
+
+#[test]
+fn swap_events_reference_real_workers_and_slots() {
+    let mut cfg = RuntimeConfig::new(6, 3, 12);
+    cfg.decider = Decider::ForceEvery(2);
+    let report = run_iterative(cfg, JacobiApp { cells_per_rank: 8 });
+    for e in &report.swap_events {
+        assert!(e.slot < 3);
+        assert!(e.from_worker < 6);
+        assert!(e.to_worker < 6);
+        assert_ne!(e.from_worker, e.to_worker);
+    }
+    // Final placement is consistent with the event log.
+    let mut placement: Vec<usize> = (0..3).collect();
+    for e in &report.swap_events {
+        assert_eq!(placement[e.slot], e.from_worker, "event log inconsistent");
+        placement[e.slot] = e.to_worker;
+    }
+    assert_eq!(placement, report.final_placement);
+}

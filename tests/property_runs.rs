@@ -1,0 +1,202 @@
+//! Property-based integration tests: randomized platforms, applications
+//! and policies must always produce well-formed, internally consistent
+//! runs.
+
+use mpi_swap::loadmodel::OnOffSource;
+use mpi_swap::simulator::platform::{LoadSpec, PlatformSpec};
+use mpi_swap::simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, RunContext, Strategy, Swap};
+use mpi_swap::simulator::{AppSpec, RunResult};
+use mpi_swap::swap_core::{HistoryWindow, PolicyParams};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomConfig {
+    n_hosts: usize,
+    n_active: usize,
+    allocated: usize,
+    iterations: usize,
+    duty: f64,
+    state_bytes: f64,
+    flops: f64,
+    seed: u64,
+    strategy_pick: u8,
+    payback_threshold: f64,
+    history_secs: f64,
+}
+
+fn config_strategy() -> impl Strategy2<Value = RandomConfig> {
+    (
+        4usize..12,  // n_hosts
+        1usize..4,   // n_active
+        0usize..8,   // extra allocation
+        2usize..8,   // iterations
+        0.0f64..0.9, // duty
+        1e3f64..1e8, // state bytes
+        1e8f64..5e9, // flops per proc iter
+        0u64..50,    // seed
+        0u8..6,      // strategy selector
+        prop::sample::select(vec![0.25f64, 0.5, 1.0, 5.0, f64::INFINITY]),
+        prop::sample::select(vec![0.0f64, 30.0, 120.0, 600.0]),
+    )
+        .prop_map(
+            |(n_hosts, n_active, extra, iterations, duty, state, flops, seed, pick, pb, hist)| {
+                let n_active = n_active.min(n_hosts);
+                RandomConfig {
+                    n_hosts,
+                    n_active,
+                    allocated: (n_active + extra).min(n_hosts),
+                    iterations,
+                    duty,
+                    state_bytes: state,
+                    flops,
+                    seed,
+                    strategy_pick: pick,
+                    payback_threshold: pb,
+                    history_secs: hist,
+                }
+            },
+        )
+}
+
+// `Strategy` clashes with simulator::strategies::Strategy; alias the
+// proptest trait.
+use proptest::strategy::Strategy as Strategy2;
+
+fn run(cfg: &RandomConfig) -> RunResult {
+    let spec = PlatformSpec {
+        n_hosts: cfg.n_hosts,
+        speed_range: (1e8, 4e8),
+        link: mpi_swap::simkit::link::SharedLink::hpdc03_lan(),
+        startup_per_process: 0.75,
+        load: LoadSpec::OnOff(OnOffSource::for_duty_cycle(cfg.duty, 0.08, 20.0)),
+        horizon: 200_000.0,
+    };
+    let app = AppSpec {
+        n_active: cfg.n_active,
+        iterations: cfg.iterations,
+        flops_per_proc_iter: cfg.flops,
+        bytes_per_proc_iter: 1e5,
+        process_state_bytes: cfg.state_bytes,
+    };
+    let platform = spec.realize(cfg.seed);
+    let ctx = RunContext::new(&platform, &app, cfg.allocated);
+    let policy = PolicyParams::greedy()
+        .with_payback_threshold(cfg.payback_threshold)
+        .with_history(HistoryWindow::seconds(cfg.history_secs));
+    let strategy: Box<dyn Strategy> = match cfg.strategy_pick {
+        0 => Box::new(Nothing),
+        1 => Box::new(Dlb),
+        2 => Box::new(Swap::new(policy)),
+        3 => Box::new(Cr::new(policy)),
+        4 => Box::new(DlbSwap::new(policy)),
+        _ => Box::new(Swap::safe()),
+    };
+    strategy.run(&ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Time accounting always adds up, iterations are contiguous, active
+    /// sets are well-formed, for every strategy/policy/platform combo.
+    #[test]
+    fn prop_runs_are_well_formed(cfg in config_strategy()) {
+        let r = run(&cfg);
+        prop_assert_eq!(r.iterations.len(), cfg.iterations);
+        prop_assert!(r.execution_time.is_finite() && r.execution_time > 0.0);
+
+        let accounted: f64 = r.startup_time
+            + r.iterations.iter().map(|it| it.duration() + it.adapt_time).sum::<f64>();
+        prop_assert!(
+            (accounted - r.execution_time).abs() < 1e-6,
+            "accounting: {} vs {}", accounted, r.execution_time
+        );
+
+        let mut expected_start = r.startup_time;
+        for it in &r.iterations {
+            prop_assert!((it.start - expected_start).abs() < 1e-6);
+            prop_assert!(it.compute_end >= it.start);
+            prop_assert!(it.end >= it.compute_end);
+            prop_assert!(it.adapt_time >= 0.0);
+            expected_start = it.end + it.adapt_time;
+
+            prop_assert_eq!(it.active.len(), cfg.n_active);
+            let mut hosts = it.active.clone();
+            hosts.sort_unstable();
+            hosts.dedup();
+            prop_assert_eq!(hosts.len(), cfg.n_active, "duplicate active hosts");
+            prop_assert!(it.active.iter().all(|&h| h < cfg.n_hosts));
+        }
+    }
+
+    /// Determinism: the same configuration always produces the identical
+    /// run.
+    #[test]
+    fn prop_runs_are_deterministic(cfg in config_strategy()) {
+        let a = run(&cfg);
+        let b = run(&cfg);
+        prop_assert_eq!(a.execution_time, b.execution_time);
+        prop_assert_eq!(a.adaptations, b.adaptations);
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+
+    /// More iterations never finish earlier (monotonicity of the
+    /// execution model in workload size).
+    #[test]
+    fn prop_more_iterations_take_longer(mut cfg in config_strategy()) {
+        cfg.iterations = cfg.iterations.min(4);
+        let short = run(&cfg);
+        let mut cfg_long = cfg.clone();
+        cfg_long.iterations = cfg.iterations + 2;
+        let long = run(&cfg_long);
+        prop_assert!(
+            long.execution_time >= short.execution_time - 1e-9,
+            "{} iters: {} vs {} iters: {}",
+            cfg.iterations, short.execution_time,
+            cfg_long.iterations, long.execution_time
+        );
+    }
+
+    /// NOTHING on an unloaded platform is exactly startup + iterations ×
+    /// (compute + comm) of the slowest selected host.
+    #[test]
+    fn prop_unloaded_nothing_is_analytic(
+        n_hosts in 2usize..10,
+        n_active in 1usize..4,
+        iterations in 1usize..6,
+        flops in 1e8f64..5e9,
+        seed in 0u64..20,
+    ) {
+        let n_active = n_active.min(n_hosts);
+        let spec = PlatformSpec {
+            n_hosts,
+            speed_range: (1e8, 4e8),
+            link: mpi_swap::simkit::link::SharedLink::new(0.0, 6e6),
+            startup_per_process: 0.75,
+            load: LoadSpec::Unloaded,
+            horizon: 10_000.0,
+        };
+        let app = AppSpec {
+            n_active,
+            iterations,
+            flops_per_proc_iter: flops,
+            bytes_per_proc_iter: 1e5,
+            process_state_bytes: 1e6,
+        };
+        let platform = spec.realize(seed);
+        let ctx = RunContext::new(&platform, &app, n_active);
+        let r = Nothing.run(&ctx);
+
+        let mut speeds: Vec<f64> = platform.hosts.iter().map(|h| h.speed).collect();
+        speeds.sort_by(f64::total_cmp);
+        speeds.reverse();
+        let slowest_used = speeds[n_active - 1];
+        let per_iter = flops / slowest_used
+            + platform.link.bulk_transfer_time(n_active, app.bytes_per_proc_iter);
+        let expected = platform.startup_time(n_active) + iterations as f64 * per_iter;
+        prop_assert!(
+            (r.execution_time - expected).abs() < 1e-6,
+            "got {}, analytic {}", r.execution_time, expected
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests: structural invariants of every strategy run.
+//!
+//! Whatever the strategy decides, a run's time accounting must add up,
+//! active sets must stay well-formed, and results must be reproducible.
+
+use mpi_swap::loadmodel::OnOffSource;
+use mpi_swap::simulator::platform::{LoadSpec, PlatformSpec};
+use mpi_swap::simulator::strategies::{Cr, Dlb, Nothing, RunContext, Strategy, Swap};
+use mpi_swap::simulator::{AppSpec, RunResult};
+
+fn strategies() -> Vec<(Box<dyn Strategy>, usize)> {
+    vec![
+        (Box::new(Nothing), 4),
+        (Box::new(Swap::greedy()), 16),
+        (Box::new(Swap::safe()), 16),
+        (Box::new(Swap::friendly()), 16),
+        (Box::new(Dlb), 4),
+        (Box::new(Cr::greedy()), 16),
+    ]
+}
+
+fn make_run(strategy: &dyn Strategy, alloc: usize, seed: u64) -> (RunResult, PlatformSpec) {
+    let spec = PlatformSpec::hpdc03(LoadSpec::OnOff(OnOffSource::for_duty_cycle(
+        0.5, 0.08, 30.0,
+    )));
+    let mut app = AppSpec::hpdc03(4, 1e7);
+    app.iterations = 12;
+    let platform = spec.realize(seed);
+    let ctx = RunContext::new(&platform, &app, alloc);
+    (strategy.run(&ctx), spec)
+}
+
+#[test]
+fn time_accounting_adds_up() {
+    for (strategy, alloc) in strategies() {
+        let (r, _) = make_run(strategy.as_ref(), alloc, 1);
+        // startup + Σ(iteration durations + adaptation pauses) == total.
+        let accounted: f64 = r.startup_time
+            + r.iterations
+                .iter()
+                .map(|it| it.duration() + it.adapt_time)
+                .sum::<f64>();
+        assert!(
+            (accounted - r.execution_time).abs() < 1e-6,
+            "{}: accounted {accounted} != total {}",
+            r.strategy,
+            r.execution_time
+        );
+        let adapt_sum: f64 = r.iterations.iter().map(|it| it.adapt_time).sum();
+        assert!(
+            (adapt_sum - r.adapt_time_total).abs() < 1e-9,
+            "{}: adapt accounting mismatch",
+            r.strategy
+        );
+    }
+}
+
+#[test]
+fn iterations_are_contiguous_and_ordered() {
+    for (strategy, alloc) in strategies() {
+        let (r, _) = make_run(strategy.as_ref(), alloc, 2);
+        assert_eq!(r.iterations.len(), 12, "{}", r.strategy);
+        let mut expected_start = r.startup_time;
+        for (i, it) in r.iterations.iter().enumerate() {
+            assert_eq!(it.index, i, "{}", r.strategy);
+            assert!(
+                (it.start - expected_start).abs() < 1e-6,
+                "{}: iteration {i} starts at {} expected {expected_start}",
+                r.strategy,
+                it.start
+            );
+            assert!(it.compute_end >= it.start);
+            assert!(it.end >= it.compute_end);
+            expected_start = it.end + it.adapt_time;
+        }
+    }
+}
+
+#[test]
+fn active_sets_stay_well_formed() {
+    for (strategy, alloc) in strategies() {
+        let (r, _) = make_run(strategy.as_ref(), alloc, 3);
+        for it in &r.iterations {
+            assert_eq!(it.active.len(), 4, "{}: wrong N", r.strategy);
+            let mut sorted = it.active.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "{}: duplicate hosts", r.strategy);
+            assert!(
+                it.active.iter().all(|&h| h < 32),
+                "{}: host out of range",
+                r.strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_reproducible() {
+    for (strategy, alloc) in strategies() {
+        let (a, _) = make_run(strategy.as_ref(), alloc, 4);
+        let (b, _) = make_run(strategy.as_ref(), alloc, 4);
+        assert_eq!(a.execution_time, b.execution_time, "{}", a.strategy);
+        assert_eq!(a.adaptations, b.adaptations, "{}", a.strategy);
+        assert_eq!(a.iterations, b.iterations, "{}", a.strategy);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs_under_load() {
+    let (a, _) = make_run(&Nothing, 4, 10);
+    let (b, _) = make_run(&Nothing, 4, 11);
+    assert_ne!(
+        a.execution_time, b.execution_time,
+        "independent platforms should differ"
+    );
+}
+
+#[test]
+fn nothing_and_dlb_never_adapt_swap_and_cr_may() {
+    let (n, _) = make_run(&Nothing, 4, 5);
+    let (d, _) = make_run(&Dlb, 4, 5);
+    assert_eq!(n.adaptations + d.adaptations, 0);
+    assert_eq!(n.adapt_time_total + d.adapt_time_total, 0.0);
+    let (s, _) = make_run(&Swap::greedy(), 16, 5);
+    assert!(s.iterations.iter().all(|it| it.adapt_time >= 0.0));
+}
