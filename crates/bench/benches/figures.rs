@@ -42,5 +42,29 @@ fn bench_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figures);
+/// The sweep engine's parallel speedup on a reduced Figure 4: identical
+/// work at `jobs = 1` vs `jobs = 0` (all cores). The outputs are
+/// bit-identical (asserted by the `parallel_determinism` integration
+/// test); this group measures the wall-clock difference only.
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut serial = bench_scale();
+    serial.seeds = 3;
+    serial.sweep_points = 4;
+    serial.iterations = 10;
+    serial.jobs = 1;
+    let mut parallel = serial;
+    parallel.jobs = 0;
+
+    let mut group = c.benchmark_group("parallel_speedup");
+    group.sample_size(10);
+    group.bench_function("fig4_reduced/jobs_1", |b| {
+        b.iter(|| std::hint::black_box(figures::fig4_techniques_vs_dynamism(&serial)))
+    });
+    group.bench_function("fig4_reduced/jobs_auto", |b| {
+        b.iter(|| std::hint::black_box(figures::fig4_techniques_vs_dynamism(&parallel)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_parallel_speedup);
 criterion_main!(benches);

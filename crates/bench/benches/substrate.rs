@@ -8,7 +8,10 @@ use simkit::Timeline;
 use simulator::platform::{LoadSpec, PlatformSpec};
 use simulator::strategies::{RunContext, Strategy, Swap};
 use simulator::AppSpec;
-use swap_core::{DecisionEngine, PolicyParams, ProcessorSnapshot, SwapCost};
+use swap_core::{
+    DecisionEngine, HistoryWindow, PerfHistory, PolicyParams, Predictor, ProcessorSnapshot,
+    SwapCost,
+};
 
 fn timeline_with_segments(n: usize) -> Timeline {
     Timeline::from_points((0..n).map(|i| (i as f64 * 10.0, ((i % 3) + 1) as f64)))
@@ -91,6 +94,36 @@ fn bench_decision(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_predict(c: &mut Criterion) {
+    // `predict` runs once per processor per decision point, so its cost
+    // scales with history length × processors × iterations. It now
+    // streams over the windowed range in place (thread-local scratch for
+    // the order-statistic predictors) instead of building two Vecs per
+    // call; this group guards that property.
+    let mut group = c.benchmark_group("perf_history_predict");
+    for &samples in &[16usize, 256, 2048] {
+        let mut h = PerfHistory::with_retention(1e9);
+        for i in 0..samples {
+            h.record(i as f64 * 30.0, 1e8 + (i as f64 * 7919.0) % 3e8);
+        }
+        let now = samples as f64 * 30.0;
+        let window = HistoryWindow::seconds(now); // keep every sample in range
+        let predictors = [
+            ("mean", Predictor::WindowedMean),
+            ("median", Predictor::WindowedMedian),
+            ("ewma", Predictor::Ewma(0.5)),
+            ("tw_mean", Predictor::TimeWeightedMean),
+            ("nws", Predictor::Nws),
+        ];
+        for (name, p) in predictors {
+            group.bench_function(format!("{name}/{samples}"), |b| {
+                b.iter(|| std::hint::black_box(h.predict(p, window, now)))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_full_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_run");
     group.sample_size(10);
@@ -117,6 +150,7 @@ criterion_group!(
     bench_link,
     bench_loadgen,
     bench_decision,
+    bench_predict,
     bench_full_run
 );
 criterion_main!(benches);

@@ -23,6 +23,10 @@ pub fn bench_scale() -> Scale {
         seeds: 1,
         sweep_points: 2,
         iterations: 4,
+        // Serial: the per-figure benches measure the cost of the
+        // generation path itself; `parallel_speedup` compares jobs
+        // settings explicitly.
+        jobs: 1,
     }
 }
 

@@ -131,7 +131,7 @@ impl Forecaster for SlidingMedian {
         let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
         sorted.sort_by(f64::total_cmp);
         let mid = sorted.len() / 2;
-        Some(if sorted.len() % 2 == 0 {
+        Some(if sorted.len().is_multiple_of(2) {
             (sorted[mid - 1] + sorted[mid]) / 2.0
         } else {
             sorted[mid]

@@ -147,16 +147,21 @@ impl PerfHistory {
         }
         let cutoff = now - window.secs();
         let start = self.samples.partition_point(|&(t, _)| t < cutoff);
-        let stamped: Vec<(f64, f64)> = self.samples.iter().skip(start).copied().collect();
-        let vals: Vec<f64> = stamped.iter().map(|&(_, v)| v).collect();
-        if vals.is_empty() {
+        let n = self.samples.len() - start;
+        if n == 0 {
             return Some(last_v);
         }
+        // Every predictor streams over the windowed range in place.
+        // `predict` runs once per processor per decision point, so the
+        // per-call `stamped`/`vals` Vecs this used to build dominated the
+        // decision overhead; only the order-statistic predictors (median,
+        // NWS) need contiguous values, and they borrow a reusable
+        // thread-local scratch buffer instead of allocating.
+        let windowed = || self.samples.iter().skip(start).copied();
         let out = match predictor {
             Predictor::LastValue => last_v,
-            Predictor::WindowedMean => vals.iter().sum::<f64>() / vals.len() as f64,
-            Predictor::WindowedMedian => {
-                let mut sorted = vals.clone();
+            Predictor::WindowedMean => windowed().map(|(_, v)| v).sum::<f64>() / n as f64,
+            Predictor::WindowedMedian => with_scratch(windowed().map(|(_, v)| v), |sorted| {
                 sorted.sort_by(f64::total_cmp);
                 let mid = sorted.len() / 2;
                 if sorted.len() % 2 == 0 {
@@ -164,24 +169,26 @@ impl PerfHistory {
                 } else {
                     sorted[mid]
                 }
-            }
+            }),
             Predictor::Ewma(alpha) => {
                 assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha in (0,1]");
-                let mut acc = vals[0];
-                for &v in &vals[1..] {
-                    acc = alpha * v + (1.0 - alpha) * acc;
-                }
-                acc
+                windowed()
+                    .map(|(_, v)| v)
+                    .reduce(|acc, v| alpha * v + (1.0 - alpha) * acc)
+                    .expect("window is non-empty")
             }
-            Predictor::Nws => crate::forecast::nws_forecast(&vals).unwrap_or(last_v),
+            Predictor::Nws => with_scratch(windowed().map(|(_, v)| v), |vals| {
+                crate::forecast::nws_forecast(vals).unwrap_or(last_v)
+            }),
             Predictor::TimeWeightedMean => {
                 // Each sample covers the span until the next one; the
                 // last covers up to `now` (zero-span tails still count a
                 // little so a single sample works).
                 let mut weighted = 0.0;
                 let mut total_w = 0.0;
-                for (i, &(t, v)) in stamped.iter().enumerate() {
-                    let span_end = stamped.get(i + 1).map_or(now.max(t), |&(tn, _)| tn);
+                let mut it = windowed().peekable();
+                while let Some((t, v)) = it.next() {
+                    let span_end = it.peek().map_or(now.max(t), |&(tn, _)| tn);
                     let w = (span_end - t).max(1e-9);
                     weighted += v * w;
                     total_w += w;
@@ -191,6 +198,22 @@ impl PerfHistory {
         };
         Some(out)
     }
+}
+
+/// Runs `f` on the iterator's values gathered into a reusable
+/// thread-local buffer — scratch space for predictors that need a
+/// contiguous, mutable slice (median sort, NWS replay) without a fresh
+/// allocation per decision point.
+fn with_scratch<R>(values: impl Iterator<Item = f64>, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.extend(values);
+        f(&mut buf)
+    })
 }
 
 #[cfg(test)]

@@ -7,10 +7,16 @@
 use crate::config::Scale;
 use crate::figures::{onoff_duty, platform};
 use crate::output::{FigureData, Series};
+use crate::sweep::{grid_sweep, item_sweep};
 use simulator::runner::run_replicated;
 use simulator::strategies::{Nothing, Swap};
 use simulator::AppSpec;
 use swap_core::{HistoryWindow, PolicyParams, Predictor};
+
+/// Constructor for a predictor, parameterized by the window length.
+type PredictorFor = fn(f64) -> Predictor;
+/// Constructor for a load model, parameterized by the sweep coordinate.
+type LoadFor = fn(f64) -> simulator::platform::LoadSpec;
 
 /// The shared operating point: N = 4 of 32, 100 MB state (payback is a
 /// live constraint), duty-0.5 ON/OFF load.
@@ -38,7 +44,7 @@ pub fn ablation_history(scale: &Scale) -> FigureData {
     scale.validate();
     let (spec, app) = operating_point(scale);
     let windows = [0.0, 60.0, 300.0, 900.0];
-    let predictors: [(&str, fn(f64) -> Predictor); 6] = [
+    let predictors: [(&str, PredictorFor); 6] = [
         ("last-value", |_| Predictor::LastValue),
         ("mean", |_| Predictor::WindowedMean),
         ("tw-mean", |_| Predictor::TimeWeightedMean),
@@ -46,21 +52,18 @@ pub fn ablation_history(scale: &Scale) -> FigureData {
         ("ewma(0.5)", |_| Predictor::Ewma(0.5)),
         ("nws", |_| Predictor::Nws),
     ];
-    let series = predictors
-        .iter()
-        .map(|(name, mk)| {
-            let pts = windows
-                .iter()
-                .map(|&w| {
-                    let policy = PolicyParams::greedy()
-                        .with_history(HistoryWindow::seconds(w))
-                        .with_predictor(mk(w));
-                    (w, mean_time(&spec, &app, policy, scale))
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &predictors,
+        &windows,
+        |(name, _)| (*name).to_owned(),
+        |(_, mk), w| {
+            let policy = PolicyParams::greedy()
+                .with_history(HistoryWindow::seconds(w))
+                .with_predictor(mk(w));
+            mean_time(&spec, &app, policy, scale)
+        },
+    );
     FigureData {
         id: "ablation_history".into(),
         title: "History predictor ablation (greedy gates, 100 MB state)".into(),
@@ -76,16 +79,22 @@ pub fn ablation_payback(scale: &Scale) -> FigureData {
     scale.validate();
     let (spec, app) = operating_point(scale);
     let thresholds = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, f64::INFINITY];
+    // Plot infinity at a finite sentinel right of the sweep.
+    let plot_x = |t: f64| if t.is_finite() { t } else { 10.0 };
+    let ys = item_sweep(
+        scale,
+        "swap",
+        &thresholds,
+        |&t| plot_x(t),
+        |&t| {
+            let policy = PolicyParams::greedy().with_payback_threshold(t);
+            mean_time(&spec, &app, policy, scale)
+        },
+    );
     let pts: Vec<(f64, f64)> = thresholds
         .iter()
-        .map(|&t| {
-            let policy = PolicyParams::greedy().with_payback_threshold(t);
-            // Plot infinity at a finite sentinel right of the sweep.
-            (
-                if t.is_finite() { t } else { 10.0 },
-                mean_time(&spec, &app, policy, scale),
-            )
-        })
+        .zip(ys)
+        .map(|(&t, y)| (plot_x(t), y))
         .collect();
     let nothing = run_replicated(&spec, &app, &Nothing, 4, &scale.seed_list())
         .execution_time
@@ -109,26 +118,22 @@ pub fn ablation_multiswap(scale: &Scale) -> FigureData {
     let mut app = AppSpec::hpdc03(4, 1.0e6);
     app.iterations = scale.iterations;
     let xs = scale.linspace(0.0, 0.92);
-    let series = [("multi-swap", None), ("single-swap", Some(1))]
-        .iter()
-        .map(|(name, cap)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    let spec = platform(onoff_duty(d));
-                    let strategy = match cap {
-                        None => Swap::greedy(),
-                        Some(k) => Swap::greedy().with_max_swaps(*k),
-                    };
-                    let t = run_replicated(&spec, &app, &strategy, 32, &scale.seed_list())
-                        .execution_time
-                        .mean;
-                    (d, t)
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &[("multi-swap", None), ("single-swap", Some(1))],
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, cap), d| {
+            let spec = platform(onoff_duty(d));
+            let strategy = match cap {
+                None => Swap::greedy(),
+                Some(k) => Swap::greedy().with_max_swaps(*k),
+            };
+            run_replicated(&spec, &app, &strategy, 32, &scale.seed_list())
+                .execution_time
+                .mean
+        },
+    );
     FigureData {
         id: "ablation_multiswap".into(),
         title: "Swaps per decision point (greedy, 1 MB state)".into(),
@@ -145,7 +150,7 @@ pub fn ablation_dynamism(scale: &Scale) -> FigureData {
     let mut app = AppSpec::hpdc03(4, 1.0e6);
     app.iterations = scale.iterations;
     let xs = scale.linspace(0.0, 0.92);
-    let interpretations: [(&str, fn(f64) -> simulator::platform::LoadSpec); 2] = [
+    let interpretations: [(&str, LoadFor); 2] = [
         ("duty-cycle axis", onoff_duty),
         ("raw-p axis", |x| {
             simulator::platform::LoadSpec::OnOff(loadmodel::OnOffSource::with_step(
@@ -155,25 +160,30 @@ pub fn ablation_dynamism(scale: &Scale) -> FigureData {
             ))
         }),
     ];
-    let mut series = Vec::new();
-    for (name, load_for) in interpretations {
-        for (sname, swap) in [("nothing", None), ("swap", Some(Swap::greedy()))] {
-            let pts: Vec<(f64, f64)> = xs
-                .iter()
-                .map(|&x| {
-                    let spec = platform(load_for(x));
-                    let t = match &swap {
-                        None => run_replicated(&spec, &app, &Nothing, 4, &scale.seed_list()),
-                        Some(s) => run_replicated(&spec, &app, s, 32, &scale.seed_list()),
-                    }
-                    .execution_time
-                    .mean;
-                    (x, t)
-                })
-                .collect();
-            series.push(Series::new(format!("{sname} ({name})"), pts));
-        }
-    }
+    let combos: Vec<(String, LoadFor, bool)> = interpretations
+        .iter()
+        .flat_map(|&(name, load_for)| {
+            [("nothing", false), ("swap", true)]
+                .into_iter()
+                .map(move |(sname, swaps)| (format!("{sname} ({name})"), load_for, swaps))
+        })
+        .collect();
+    let series = grid_sweep(
+        scale,
+        &combos,
+        &xs,
+        |(label, _, _)| label.clone(),
+        |(_, load_for, swaps), x| {
+            let spec = platform(load_for(x));
+            if *swaps {
+                run_replicated(&spec, &app, &Swap::greedy(), 32, &scale.seed_list())
+            } else {
+                run_replicated(&spec, &app, &Nothing, 4, &scale.seed_list())
+            }
+            .execution_time
+            .mean
+        },
+    );
     FigureData {
         id: "ablation_dynamism".into(),
         title: "Dynamism-axis interpretation".into(),
@@ -196,22 +206,18 @@ pub fn ablation_oracle(scale: &Scale) -> FigureData {
         ("greedy", Box::new(Swap::greedy()), 32),
         ("oracle", Box::new(simulator::strategies::Oracle), 4),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s, alloc)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    let spec = platform(onoff_duty(d));
-                    let t = run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
-                        .execution_time
-                        .mean;
-                    (d, t)
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, s, alloc), d| {
+            let spec = platform(onoff_duty(d));
+            run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
+                .execution_time
+                .mean
+        },
+    );
     FigureData {
         id: "ablation_oracle".into(),
         title: "Oracle gap: greedy vs clairvoyant free migration".into(),
@@ -232,35 +238,46 @@ pub fn ablation_commmodel(scale: &Scale) -> FigureData {
     use simulator::schedule::{equal_partition, fastest_hosts};
     scale.validate();
     let xs = scale.logspace(1e5, 1e9); // bytes per process per iteration
+                                       // Both models share the realized platform per seed, so one work item
+                                       // computes the (bsp, eager) pair for a sweep point.
+    let pairs = item_sweep(
+        scale,
+        "bsp+eager",
+        &xs,
+        |&b| b,
+        |&bytes| {
+            let mut app = AppSpec::hpdc03(4, 1.0e6);
+            app.iterations = scale.iterations;
+            app.bytes_per_proc_iter = bytes;
+            let mut sums = [0.0f64; 2];
+            for &seed in &scale.seed_list() {
+                let platform = platform(onoff_duty(0.5)).realize(seed);
+                let active = fastest_hosts(&platform, app.n_active, 0.0);
+                let work = equal_partition(app.n_active, app.flops_per_proc_iter);
+                for (i, eager) in [false, true].into_iter().enumerate() {
+                    let mut t = platform.startup_time(app.n_active);
+                    for _ in 0..app.iterations {
+                        let out = if eager {
+                            run_iteration_eager(&platform, &app, &active, &work, t)
+                        } else {
+                            run_iteration(&platform, &app, &active, &work, t)
+                        };
+                        t = out.end;
+                    }
+                    sums[i] += t;
+                }
+            }
+            let n = scale.seeds as f64;
+            [sums[0] / n, sums[1] / n]
+        },
+    );
     let mut series = vec![
         Series::new("bsp", Vec::new()),
         Series::new("eager", Vec::new()),
     ];
-    for &bytes in &xs {
-        let mut app = AppSpec::hpdc03(4, 1.0e6);
-        app.iterations = scale.iterations;
-        app.bytes_per_proc_iter = bytes;
-        let mut sums = [0.0f64; 2];
-        for &seed in &scale.seed_list() {
-            let platform = platform(onoff_duty(0.5)).realize(seed);
-            let active = fastest_hosts(&platform, app.n_active, 0.0);
-            let work = equal_partition(app.n_active, app.flops_per_proc_iter);
-            for (i, eager) in [false, true].into_iter().enumerate() {
-                let mut t = platform.startup_time(app.n_active);
-                for _ in 0..app.iterations {
-                    let out = if eager {
-                        run_iteration_eager(&platform, &app, &active, &work, t)
-                    } else {
-                        run_iteration(&platform, &app, &active, &work, t)
-                    };
-                    t = out.end;
-                }
-                sums[i] += t;
-            }
-        }
-        let n = scale.seeds as f64;
-        series[0].points.push((bytes, sums[0] / n));
-        series[1].points.push((bytes, sums[1] / n));
+    for (&bytes, pair) in xs.iter().zip(pairs) {
+        series[0].points.push((bytes, pair[0]));
+        series[1].points.push((bytes, pair[1]));
     }
     FigureData {
         id: "ablation_commmodel".into(),
@@ -303,6 +320,7 @@ mod tests {
             seeds: 1,
             sweep_points: 2,
             iterations: 3,
+            jobs: 0,
         }
     }
 
@@ -332,6 +350,7 @@ mod tests {
             seeds: 2,
             sweep_points: 4,
             iterations: 6,
+            jobs: 0,
         };
         let fig = ablation_commmodel(&scale);
         let bsp = fig.series_named("bsp").unwrap();
@@ -363,6 +382,7 @@ mod tests {
             seeds: 2,
             sweep_points: 3,
             iterations: 8,
+            jobs: 0,
         };
         let fig = ablation_oracle(&scale);
         let greedy = fig.series_named("greedy").unwrap();

@@ -13,6 +13,12 @@ pub struct Scale {
     pub sweep_points: usize,
     /// Application iterations per simulated run.
     pub iterations: usize,
+    /// Worker threads for the sweep engine: `0` = all available
+    /// parallelism, `1` = serial. Results are bit-identical at every
+    /// setting (see [`simkit::par::par_map`]); only wall-clock changes,
+    /// so this is a sampling-effort knob's sibling, not a model knob.
+    #[serde(default)]
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -22,6 +28,7 @@ impl Scale {
             seeds: 10,
             sweep_points: 13,
             iterations: 50,
+            jobs: 0,
         }
     }
 
@@ -32,6 +39,7 @@ impl Scale {
             seeds: 3,
             sweep_points: 6,
             iterations: 15,
+            jobs: 0,
         }
     }
 
@@ -88,6 +96,7 @@ mod tests {
             seeds: 1,
             sweep_points: 5,
             iterations: 2,
+            jobs: 0,
         };
         let v = s.linspace(0.0, 1.0);
         assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
@@ -99,6 +108,7 @@ mod tests {
             seeds: 1,
             sweep_points: 3,
             iterations: 2,
+            jobs: 0,
         };
         let v = s.logspace(1.0, 100.0);
         assert!((v[0] - 1.0).abs() < 1e-9);
@@ -109,5 +119,16 @@ mod tests {
     #[test]
     fn seed_list_length_matches() {
         assert_eq!(Scale::quick().seed_list().len(), Scale::quick().seeds);
+    }
+
+    #[test]
+    fn jobs_defaults_to_zero_when_absent_from_json() {
+        // Scale documents written before the `jobs` knob existed must
+        // still parse (0 = auto).
+        let s: Scale =
+            serde_json::from_str(r#"{"seeds":2,"sweep_points":3,"iterations":4}"#).unwrap();
+        assert_eq!(s.jobs, 0);
+        let round: Scale = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(round, s);
     }
 }

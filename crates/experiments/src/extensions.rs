@@ -12,7 +12,8 @@
 
 use crate::config::Scale;
 use crate::figures::{onoff_duty, platform, ONOFF_Q};
-use crate::output::{FigureData, Series};
+use crate::output::FigureData;
+use crate::sweep::grid_sweep;
 use loadmodel::OnOffSource;
 use simulator::platform::LoadSpec;
 use simulator::runner::run_replicated;
@@ -43,22 +44,18 @@ pub fn ext_reclamation(scale: &Scale) -> FigureData {
         ("dlb", Box::new(Dlb), 4),
         ("cr", Box::new(Cr::greedy()), 32),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s, alloc)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    let spec = platform(load_for(d));
-                    let t = run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
-                        .execution_time
-                        .mean;
-                    (d, t)
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, s, alloc), d| {
+            let spec = platform(load_for(d));
+            run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
+                .execution_time
+                .mean
+        },
+    );
     FigureData {
         id: "ext_reclamation".into(),
         title: "Extension: desktop-grid owner reclamation (guest keeps 5%)".into(),
@@ -81,22 +78,18 @@ pub fn ext_dlb_swap(scale: &Scale) -> FigureData {
         ("swap", Box::new(Swap::greedy()), 32),
         ("dlb+swap", Box::new(DlbSwap::greedy()), 32),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s, alloc)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    let spec = platform(onoff_duty(d));
-                    let t = run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
-                        .execution_time
-                        .mean;
-                    (d, t)
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, s, alloc), d| {
+            let spec = platform(onoff_duty(d));
+            run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
+                .execution_time
+                .mean
+        },
+    );
     FigureData {
         id: "ext_dlb_swap".into(),
         title: "Extension: DLB + swapping hybrid".into(),
@@ -131,22 +124,18 @@ pub fn ext_pareto(scale: &Scale) -> FigureData {
         ("dlb", Box::new(Dlb), 4),
         ("cr", Box::new(Cr::greedy()), 32),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s, alloc)| {
-            let pts = xs
-                .iter()
-                .map(|&l| {
-                    let spec = platform(load_for(l));
-                    let t = run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
-                        .execution_time
-                        .mean;
-                    (l, t)
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, s, alloc), l| {
+            let spec = platform(load_for(l));
+            run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
+                .execution_time
+                .mean
+        },
+    );
     FigureData {
         id: "ext_pareto".into(),
         title: "Extension: power-law (bounded Pareto α=1.1) lifetimes".into(),
@@ -180,22 +169,18 @@ pub fn ext_traces(scale: &Scale) -> FigureData {
         ("safe", Box::new(Swap::safe()), 32),
         ("dlb", Box::new(Dlb), 4),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s, alloc)| {
-            let pts = xs
-                .iter()
-                .map(|&p| {
-                    let spec = platform(load_for(p));
-                    let t = run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
-                        .execution_time
-                        .mean;
-                    (p, t)
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, s, alloc), peak| {
+            let spec = platform(load_for(peak));
+            run_replicated(&spec, &app, s.as_ref(), *alloc, &scale.seed_list())
+                .execution_time
+                .mean
+        },
+    );
     FigureData {
         id: "ext_traces".into(),
         title: "Extension: realistic diurnal desktop traces".into(),
@@ -227,30 +212,28 @@ pub fn ext_granularity(scale: &Scale) -> FigureData {
         ("greedy", Box::new(Swap::greedy())),
         ("safe", Box::new(Swap::safe())),
     ];
-    let mut series: Vec<Series> = Vec::new();
-    for (name, s) in &policies {
-        let pts = xs
-            .iter()
-            .map(|&iter_time| {
-                let mut app = AppSpec::hpdc03(4, 1.0e8);
-                app.flops_per_proc_iter = iter_time * 3.0e8;
-                // Keep total simulated work roughly constant across the
-                // sweep so runs stay comparable in length.
-                app.iterations =
-                    ((scale.iterations as f64 * 60.0 / iter_time).round() as usize).max(6);
-                let spec = platform(load_for(iter_time));
-                let seeds = scale.seed_list();
-                let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds)
-                    .execution_time
-                    .mean;
-                let swap = run_replicated(&spec, &app, s.as_ref(), 32, &seeds)
-                    .execution_time
-                    .mean;
-                (iter_time, 100.0 * (1.0 - swap / nothing))
-            })
-            .collect();
-        series.push(Series::new(*name, pts));
-    }
+    let series = grid_sweep(
+        scale,
+        &policies,
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, s), iter_time| {
+            let mut app = AppSpec::hpdc03(4, 1.0e8);
+            app.flops_per_proc_iter = iter_time * 3.0e8;
+            // Keep total simulated work roughly constant across the
+            // sweep so runs stay comparable in length.
+            app.iterations = ((scale.iterations as f64 * 60.0 / iter_time).round() as usize).max(6);
+            let spec = platform(load_for(iter_time));
+            let seeds = scale.seed_list();
+            let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds)
+                .execution_time
+                .mean;
+            let swap = run_replicated(&spec, &app, s.as_ref(), 32, &seeds)
+                .execution_time
+                .mean;
+            100.0 * (1.0 - swap / nothing)
+        },
+    );
     FigureData {
         id: "ext_granularity".into(),
         title: "Extension: benefit vs iteration granularity (100 MB state)".into(),
@@ -290,6 +273,7 @@ mod tests {
             seeds: 2,
             sweep_points: 3,
             iterations: 8,
+            jobs: 0,
         }
     }
 
@@ -344,6 +328,7 @@ mod tests {
             seeds: 3,
             sweep_points: 3,
             iterations: 12,
+            jobs: 0,
         };
         let fig = ext_granularity(&scale);
         let greedy = fig.series_named("greedy").unwrap();
@@ -381,6 +366,7 @@ mod tests {
             seeds: 4,
             sweep_points: 3,
             iterations: 15,
+            jobs: 0,
         };
         let fig = ext_traces(&scale);
         let nothing = fig.series_named("nothing").unwrap();

@@ -9,6 +9,7 @@
 
 use crate::config::Scale;
 use crate::output::{FigureData, Series};
+use crate::sweep::grid_sweep;
 use loadmodel::{DegenerateHyperExp, HyperExpWorkload, LoadTrace, OnOffSource};
 use simkit::rng::rng;
 use simulator::platform::{LoadSpec, PlatformSpec};
@@ -176,21 +177,13 @@ pub fn fig4_techniques_vs_dynamism(scale: &Scale) -> FigureData {
         ("dlb", Box::new(Dlb)),
         ("cr", Box::new(Cr::greedy())),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    (
-                        d,
-                        mean_exec_time(onoff_duty(d), &app, s.as_ref(), 32, scale),
-                    )
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, s), d| mean_exec_time(onoff_duty(d), &app, s.as_ref(), 32, scale),
+    );
     FigureData {
         id: "fig4".into(),
         title: "Techniques vs environment dynamism (N=4/32, 1 MB state)".into(),
@@ -222,21 +215,13 @@ pub fn fig5_overallocation(scale: &Scale) -> FigureData {
         ("dlb", Box::new(Dlb)),
         ("cr", Box::new(Cr::greedy())),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s)| {
-            let pts = xs
-                .iter()
-                .map(|&pct| {
-                    (
-                        pct,
-                        mean_exec_time(load, &app, s.as_ref(), alloc_for(pct), scale),
-                    )
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, s), pct| mean_exec_time(load, &app, s.as_ref(), alloc_for(pct), scale),
+    );
     FigureData {
         id: "fig5".into(),
         title: "Techniques vs over-allocation (8 active, 1 MB state)".into(),
@@ -267,16 +252,13 @@ pub fn fig6_process_size(scale: &Scale) -> FigureData {
         ("swap 1GB", app_large, Box::new(Swap::greedy())),
         ("cr 1GB", app_large, Box::new(Cr::greedy())),
     ];
-    let series = configs
-        .iter()
-        .map(|(name, app, s)| {
-            let pts = xs
-                .iter()
-                .map(|&d| (d, mean_exec_time(onoff_duty(d), app, s.as_ref(), 32, scale)))
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &configs,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, app, s), d| mean_exec_time(onoff_duty(d), app, s.as_ref(), 32, scale),
+    );
     FigureData {
         id: "fig6".into(),
         title: "Process-size sensitivity (N=4/32)".into(),
@@ -302,21 +284,13 @@ pub fn fig7_policies(scale: &Scale) -> FigureData {
         ("safe", Box::new(Swap::safe())),
         ("friendly", Box::new(Swap::friendly())),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    (
-                        d,
-                        mean_exec_time(onoff_duty(d), &app, s.as_ref(), 32, scale),
-                    )
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, s), d| mean_exec_time(onoff_duty(d), &app, s.as_ref(), 32, scale),
+    );
     FigureData {
         id: "fig7".into(),
         title: "Swapping policies vs dynamism (N=4/32, 100 MB state)".into(),
@@ -344,21 +318,13 @@ pub fn fig8_policies_large_state(scale: &Scale) -> FigureData {
         ("safe", Box::new(Swap::safe())),
         ("friendly", Box::new(Swap::friendly())),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s)| {
-            let pts = xs
-                .iter()
-                .map(|&d| {
-                    (
-                        d,
-                        mean_exec_time(onoff_duty(d), &app, s.as_ref(), 32, scale),
-                    )
-                })
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, s), d| mean_exec_time(onoff_duty(d), &app, s.as_ref(), 32, scale),
+    );
     FigureData {
         id: "fig8".into(),
         title: "Swapping policies, 1 GB state (N=2/32)".into(),
@@ -391,16 +357,13 @@ pub fn fig9_hyperexp(scale: &Scale) -> FigureData {
         ("dlb", Box::new(Dlb)),
         ("cr", Box::new(Cr::greedy())),
     ];
-    let series = strategies
-        .iter()
-        .map(|(name, s)| {
-            let pts = xs
-                .iter()
-                .map(|&l| (l, mean_exec_time(load_for(l), &app, s.as_ref(), 32, scale)))
-                .collect();
-            Series::new(*name, pts)
-        })
-        .collect();
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _)| (*name).to_owned(),
+        |(_, s), l| mean_exec_time(load_for(l), &app, s.as_ref(), 32, scale),
+    );
     FigureData {
         id: "fig9".into(),
         title: "Techniques under hyperexponential load (N=4/32, 1 MB)".into(),
@@ -483,6 +446,7 @@ mod tests {
             seeds: 1,
             sweep_points: 2,
             iterations: 2,
+            jobs: 0,
         };
         for id in ALL_FIGURES.iter().take(3) {
             assert!(by_id(id, &scale).is_some(), "{id} missing");
@@ -497,6 +461,7 @@ mod tests {
             seeds: 1,
             sweep_points: 2,
             iterations: 4,
+            jobs: 0,
         };
         let f = fig4_techniques_vs_dynamism(&scale);
         assert_eq!(f.series.len(), 4);

@@ -19,7 +19,10 @@
 //!
 //! All experiments accept a [`config::Scale`] so the same code serves the
 //! full paper-scale regeneration, the Criterion benches, and quick CI
-//! checks.
+//! checks. `Scale::jobs` fans each figure's (series × sweep point) grid
+//! out over worker threads via [`sweep::grid_sweep`]; results are
+//! bit-identical at every `jobs` setting, so parallelism is purely a
+//! wall-clock knob (`swapsim --jobs N`, instrumented by [`timing`]).
 
 #![warn(missing_docs)]
 
@@ -30,6 +33,8 @@ pub mod figures;
 pub mod output;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
+pub mod timing;
 pub mod tuner;
 
 pub use config::Scale;

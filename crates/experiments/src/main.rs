@@ -1,13 +1,19 @@
 //! `swapsim` — regenerate the paper's figures.
 //!
 //! ```text
-//! swapsim all [--quick] [--out DIR]     regenerate every figure
-//! swapsim fig4 [--quick] [--out DIR]    regenerate one figure
-//! swapsim list                          list figure ids and contents
+//! swapsim all [--quick] [--jobs N] [--out DIR]     regenerate every figure
+//! swapsim fig4 [--quick] [--jobs N] [--out DIR]    regenerate one figure
+//! swapsim list                                     list figure ids and contents
 //! ```
 //!
 //! Each figure is written as `DIR/<id>.csv` (plus `<id>.json` with full
-//! metadata) and rendered as an ASCII chart on stdout.
+//! metadata, and `<id>.timing.json` with the wall-clock breakdown) and
+//! rendered as an ASCII chart on stdout.
+//!
+//! `--jobs N` fans the sweep grid out over N worker threads (`0`, the
+//! default, uses all available parallelism; `1` is fully serial). The
+//! CSV/JSON payloads are bit-identical at every setting — only the
+//! timing file and wall-clock change.
 
 use experiments::ablations::{ablation_by_id, ALL_ABLATIONS};
 use experiments::extensions::{extension_by_id, ALL_EXTENSIONS};
@@ -30,7 +36,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs expects a number (0 = auto), got '{v}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+    let mut scale = if quick { Scale::quick() } else { Scale::full() };
+    scale.jobs = jobs;
 
     match args[0].as_str() {
         "list" => {
@@ -80,7 +98,9 @@ fn main() {
                         "{}",
                         serde_json::to_string_pretty(&template).expect("serializes")
                     );
-                    println!("\n# save as policy.json, edit, then: swapsim policy policy.json");
+                    // Hint goes to stderr so `--template > policy.json`
+                    // yields a file that parses.
+                    eprintln!("\n# save as policy.json, edit, then: swapsim policy policy.json");
                 }
                 Some(path) => {
                     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -116,11 +136,15 @@ fn main() {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(2);
             });
-            let scenario: experiments::scenario::Scenario = serde_json::from_str(&text)
+            let mut scenario: experiments::scenario::Scenario = serde_json::from_str(&text)
                 .unwrap_or_else(|e| {
                     eprintln!("{path} is not a valid scenario: {e}");
                     std::process::exit(2);
                 });
+            // An explicit --jobs overrides the scenario document's knob.
+            if args.iter().any(|a| a == "--jobs") {
+                scenario.jobs = jobs;
+            }
             let t0 = Instant::now();
             let results = scenario.run();
             println!(
@@ -218,6 +242,7 @@ fn main() {
 
 fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
     let t0 = Instant::now();
+    experiments::timing::begin(id, scale.jobs, scale.seeds);
     let fig: FigureData = by_id(id, scale)
         .or_else(|| ablation_by_id(id, scale))
         .or_else(|| extension_by_id(id, scale))
@@ -226,6 +251,7 @@ fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
             std::process::exit(2);
         });
     let elapsed = t0.elapsed();
+    let timing = experiments::timing::finish(elapsed.as_secs_f64());
 
     std::fs::create_dir_all(out_dir).expect("cannot create output directory");
     let csv_path = out_dir.join(format!("{id}.csv"));
@@ -239,28 +265,49 @@ fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
 
     println!("{}", fig.to_ascii(72, 20));
     println!(
-        "wrote {} and {} ({} series, {:.1}s)\n",
+        "wrote {} and {} ({} series, {:.1}s)",
         csv_path.display(),
         json_path.display(),
         fig.series.len(),
         elapsed.as_secs_f64()
     );
+    // Trace figures (fig1-3) never enter the sweep engine, so their
+    // summaries carry no points — skip the timing file for those.
+    if let Some(t) = timing.filter(|t| !t.points.is_empty()) {
+        let timing_path = out_dir.join(format!("{id}.timing.json"));
+        std::fs::write(
+            &timing_path,
+            serde_json::to_string_pretty(&t).expect("timing serializes"),
+        )
+        .expect("cannot write timing JSON");
+        println!(
+            "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x) -> {}",
+            t.points.len(),
+            t.compute_secs,
+            t.jobs_effective,
+            t.elapsed_secs,
+            t.speedup,
+            timing_path.display()
+        );
+    }
+    println!();
 }
 
 fn run_policy_eval(policy: swap_core::PolicyParams, duty: f64, state: f64, scale: &Scale) {
     use experiments::figures::{onoff_duty, platform};
-    use simulator::runner::run_replicated;
+    use simulator::runner::run_replicated_jobs;
     use simulator::strategies::{Nothing, Swap};
 
     let mut app = simulator::AppSpec::hpdc03(4, state);
     app.iterations = scale.iterations;
     let spec = platform(onoff_duty(duty.clamp(0.0, 0.99)));
     let seeds = scale.seed_list();
+    let jobs = scale.jobs;
 
     println!("custom policy: {policy:#?}\n");
-    let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds);
-    let custom = run_replicated(&spec, &app, &Swap::new(policy), 32, &seeds);
-    let greedy = run_replicated(&spec, &app, &Swap::greedy(), 32, &seeds);
+    let nothing = run_replicated_jobs(&spec, &app, &Nothing, 4, &seeds, jobs);
+    let custom = run_replicated_jobs(&spec, &app, &Swap::new(policy), 32, &seeds, jobs);
+    let greedy = run_replicated_jobs(&spec, &app, &Swap::greedy(), 32, &seeds, jobs);
     let base = nothing.execution_time.mean;
     for r in [&nothing, &custom, &greedy] {
         println!(
@@ -275,7 +322,7 @@ fn run_policy_eval(policy: swap_core::PolicyParams, duty: f64, state: f64, scale
 
 fn run_compare(duty: f64, state: f64, n_active: usize, alloc: usize, scale: &Scale) {
     use experiments::figures::{onoff_duty, platform};
-    use simulator::runner::run_replicated;
+    use simulator::runner::run_replicated_jobs;
     use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Strategy, Swap};
 
     let mut app = simulator::AppSpec::hpdc03(n_active, state);
@@ -303,7 +350,7 @@ fn run_compare(duty: f64, state: f64, n_active: usize, alloc: usize, scale: &Sca
     ];
     let mut baseline = None;
     for (s, a) in &strategies {
-        let r = run_replicated(&spec, &app, s.as_ref(), *a, &seeds);
+        let r = run_replicated_jobs(&spec, &app, s.as_ref(), *a, &seeds, scale.jobs);
         let e = r.execution_time;
         let base = *baseline.get_or_insert(e.mean);
         println!(
@@ -345,6 +392,6 @@ fn run_gantt(strategy_name: &str, duty: f64, seed: u64, scale: &Scale) {
 }
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--out DIR]\n       swapsim gantt [strategy] [duty] [seed]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]");
+    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR]\n       swapsim gantt [strategy] [duty] [seed]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n\n       --jobs N  worker threads for sweeps/replications (0 = auto, 1 = serial);\n                 figure CSV/JSON output is bit-identical at every setting");
     std::process::exit(1);
 }

@@ -143,7 +143,7 @@ impl FigureData {
             out.push('\n');
         }
         out.push('+');
-        out.extend(std::iter::repeat('-').take(width));
+        out.extend(std::iter::repeat_n('-', width));
         out.push('\n');
         let _ = writeln!(out, " x: {} in [{:.3}, {:.3}]", self.x_label, x_min, x_max);
         for (si, s) in self.series.iter().enumerate() {

@@ -332,6 +332,7 @@ mod tests {
             seeds: 2,
             sweep_points: 4,
             iterations: 20,
+            jobs: 0,
         };
         let checks = run_report(&scale);
         assert_eq!(checks.len(), 14);

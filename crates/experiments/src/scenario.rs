@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use simulator::platform::PlatformSpec;
-use simulator::runner::{run_replicated, ReplicatedResult};
+use simulator::runner::{run_replicated_jobs, ReplicatedResult};
 use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Oracle, Strategy, Swap};
 use simulator::AppSpec;
 use swap_core::PolicyParams;
@@ -67,6 +67,12 @@ pub struct Scenario {
     pub allocated: usize,
     /// Number of independent replications (seeds `0..replications`).
     pub replications: usize,
+    /// Worker threads for the replications (`0` = all available
+    /// parallelism, the default). Results are bit-identical at every
+    /// setting; scenario documents written before this knob existed
+    /// still parse.
+    #[serde(default)]
+    pub jobs: usize,
     /// Strategies to compare, in output order.
     pub strategies: Vec<StrategyRef>,
 }
@@ -86,6 +92,7 @@ impl Scenario {
             app: AppSpec::hpdc03(4, 1.0e6),
             allocated: 32,
             replications: 8,
+            jobs: 0,
             strategies: vec![
                 StrategyRef::Nothing,
                 StrategyRef::Dlb,
@@ -127,7 +134,14 @@ impl Scenario {
             .iter()
             .map(|sref| {
                 let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
-                run_replicated(&self.platform, &self.app, strategy.as_ref(), alloc, &seeds)
+                run_replicated_jobs(
+                    &self.platform,
+                    &self.app,
+                    strategy.as_ref(),
+                    alloc,
+                    &seeds,
+                    self.jobs,
+                )
             })
             .collect()
     }

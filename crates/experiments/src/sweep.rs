@@ -1,0 +1,130 @@
+//! The parallel sweep engine behind every figure generator.
+//!
+//! A figure is a grid: a few series (strategies, configurations) times a
+//! few sweep points, each cell an independent replicated simulation.
+//! [`grid_sweep`] flattens that grid into one work list and fans it out
+//! over worker threads with [`simkit::par::par_map`], so an entire
+//! figure — not just one cell's seeds — saturates the machine.
+//!
+//! Determinism: each cell is a pure function of `(series, x)` (every
+//! replication inside realizes its platform from its own seed), and
+//! results are reassembled in grid order, so the produced
+//! [`Series`] are **bit-identical** for every `jobs` setting.
+
+use crate::config::Scale;
+use crate::output::Series;
+use crate::timing;
+use std::time::Instant;
+
+/// Evaluates `eval(series_def, x)` for every cell of the
+/// `series_defs` × `xs` grid, using the scale's `jobs` worker threads,
+/// and returns one [`Series`] per definition (named by `name_of`, points
+/// in `xs` order).
+///
+/// While a [`timing`] collection is active, each completed cell is
+/// recorded and reported as a progress line; otherwise the sweep is
+/// silent.
+pub fn grid_sweep<S: Sync>(
+    scale: &Scale,
+    series_defs: &[S],
+    xs: &[f64],
+    name_of: impl Fn(&S) -> String,
+    eval: impl Fn(&S, f64) -> f64 + Sync,
+) -> Vec<Series> {
+    let items: Vec<(usize, usize)> = (0..series_defs.len())
+        .flat_map(|si| (0..xs.len()).map(move |xi| (si, xi)))
+        .collect();
+    timing::expect_items(items.len());
+    let names: Vec<String> = series_defs.iter().map(&name_of).collect();
+    let ys = simkit::par::par_map(&items, scale.jobs, |idx, &(si, xi)| {
+        let t0 = Instant::now();
+        let y = eval(&series_defs[si], xs[xi]);
+        timing::record(idx, &names[si], xs[xi], t0.elapsed().as_secs_f64());
+        y
+    });
+    names
+        .into_iter()
+        .enumerate()
+        .map(|(si, name)| {
+            let pts = xs
+                .iter()
+                .enumerate()
+                .map(|(xi, &x)| (x, ys[si * xs.len() + xi]))
+                .collect();
+            Series::new(name, pts)
+        })
+        .collect()
+}
+
+/// One-dimensional variant: evaluates `eval(item)` for every work item
+/// in parallel and returns the results in item order. For generators
+/// whose cells don't fit the regular grid — irregular x mappings
+/// (sentinel points), or cells that produce several series at once
+/// (paired BSP/eager runs) — `eval` may return any `Send` value;
+/// `x_of` supplies the x coordinate reported in timing/progress output.
+pub fn item_sweep<T: Sync, R: Send>(
+    scale: &Scale,
+    label: &str,
+    items: &[T],
+    x_of: impl Fn(&T) -> f64,
+    eval: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    timing::expect_items(items.len());
+    let xs: Vec<f64> = items.iter().map(&x_of).collect();
+    simkit::par::par_map(items, scale.jobs, |idx, item| {
+        let t0 = Instant::now();
+        let y = eval(item);
+        timing::record(idx, label, xs[idx], t0.elapsed().as_secs_f64());
+        y
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale_with_jobs(jobs: usize) -> Scale {
+        Scale {
+            seeds: 1,
+            sweep_points: 2,
+            iterations: 2,
+            jobs,
+        }
+    }
+
+    #[test]
+    fn grid_sweep_matches_serial_evaluation_for_all_jobs() {
+        let defs = [2.0f64, 3.0, 5.0];
+        let xs = [0.0, 1.0, 2.0, 4.0];
+        let expected: Vec<Series> = defs
+            .iter()
+            .map(|&k| {
+                Series::new(
+                    format!("k{k}"),
+                    xs.iter().map(|&x| (x, k * x + k)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        for jobs in [0, 1, 2, 5] {
+            let got = grid_sweep(
+                &scale_with_jobs(jobs),
+                &defs,
+                &xs,
+                |k| format!("k{k}"),
+                |&k, x| k * x + k,
+            );
+            assert_eq!(got.len(), expected.len(), "jobs {jobs}");
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.name, e.name);
+                assert_eq!(g.points, e.points, "jobs {jobs}, series {}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn item_sweep_preserves_order() {
+        let xs = [3.0f64, 1.0, 2.0];
+        let ys = item_sweep(&scale_with_jobs(3), "t", &xs, |&x| x, |&x| (x * 10.0, x));
+        assert_eq!(ys, vec![(30.0, 3.0), (10.0, 1.0), (20.0, 2.0)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Wall-clock instrumentation for the sweep engine.
+//!
+//! The `swapsim` binary brackets each figure generation with
+//! [`begin`]/[`finish`]; while a collection is active, the parallel
+//! sweep helper ([`crate::sweep`]) records one [`PointTiming`] per
+//! `(series, sweep point)` work item and emits a progress line to
+//! stderr. When no collection is active (library use, tests, benches)
+//! recording is a no-op, so the figure generators need no extra
+//! parameters and produce no output noise.
+//!
+//! Timing is deliberately kept *out* of the figure payloads: the CSV and
+//! JSON a figure writes are bit-identical regardless of `jobs` or host
+//! speed, while the timing summary goes to a separate
+//! `<id>.timing.json` document.
+
+use serde::Serialize;
+use std::sync::Mutex;
+
+/// Wall-clock cost of one `(series, sweep point)` work item.
+#[derive(Clone, Debug, Serialize)]
+pub struct PointTiming {
+    /// Series label within the figure.
+    pub series: String,
+    /// X coordinate of the sweep point.
+    pub x: f64,
+    /// Wall-clock seconds one worker spent computing this point (all of
+    /// its replications).
+    pub wall_secs: f64,
+}
+
+/// Machine-readable timing summary for one figure run, written as
+/// `<id>.timing.json` next to the figure's CSV/JSON payloads.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimingSummary {
+    /// Figure id.
+    pub id: String,
+    /// The `--jobs` value requested (0 = auto).
+    pub jobs_requested: usize,
+    /// Worker threads actually available to each sweep.
+    pub jobs_effective: usize,
+    /// Replications per sweep point.
+    pub seeds: usize,
+    /// Sum of per-point wall-clock — the serial-equivalent compute time.
+    pub compute_secs: f64,
+    /// End-to-end wall-clock of the figure generation, as observed by
+    /// the caller of [`finish`].
+    pub elapsed_secs: f64,
+    /// Ratio `compute_secs / elapsed_secs` — the speedup over running
+    /// the same per-point costs serially. Read it alongside
+    /// `jobs_effective`: when workers outnumber physical cores, each
+    /// point's wall-clock inflates with time spent descheduled, so the
+    /// ratio then reflects concurrency achieved rather than end-to-end
+    /// wall-clock gain.
+    pub speedup: f64,
+    /// Per-point costs, in deterministic (series-major) sweep order.
+    pub points: Vec<PointTiming>,
+}
+
+struct Active {
+    id: String,
+    jobs_requested: usize,
+    seeds: usize,
+    /// `(item_index, timing)` so [`finish`] can restore deterministic
+    /// sweep order after out-of-order parallel completion.
+    points: Vec<(usize, PointTiming)>,
+    done: usize,
+    total: usize,
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+
+/// Starts collecting timing under the given figure id. Any previous
+/// unfinished collection is discarded.
+pub fn begin(id: &str, jobs_requested: usize, seeds: usize) {
+    let mut guard = ACTIVE.lock().expect("timing collector poisoned");
+    *guard = Some(Active {
+        id: id.to_owned(),
+        jobs_requested,
+        seeds,
+        points: Vec::new(),
+        done: 0,
+        total: 0,
+    });
+}
+
+/// Tells the collector how many work items the upcoming sweep has, so
+/// progress lines can show `done/total`. Sweeps may run back-to-back
+/// under one collection (a figure with several phases); totals add up.
+pub fn expect_items(n: usize) {
+    if let Some(a) = ACTIVE.lock().expect("timing collector poisoned").as_mut() {
+        a.total += n;
+    }
+}
+
+/// Records one completed work item and emits a progress line. No-op
+/// (and no output) when no collection is active. Returns quickly; safe
+/// to call from sweep worker threads.
+pub fn record(item_index: usize, series: &str, x: f64, wall_secs: f64) {
+    let mut guard = ACTIVE.lock().expect("timing collector poisoned");
+    let Some(a) = guard.as_mut() else { return };
+    a.done += 1;
+    let (done, total, id) = (a.done, a.total.max(a.done), a.id.clone());
+    a.points.push((
+        item_index,
+        PointTiming {
+            series: series.to_owned(),
+            x,
+            wall_secs,
+        },
+    ));
+    drop(guard);
+    eprintln!("[{id}] {done:>3}/{total} {series:<14} x={x:<10.4} {wall_secs:>7.2}s");
+}
+
+/// Ends the active collection and returns its summary (`None` if
+/// [`begin`] was never called). `elapsed_secs` is the caller-observed
+/// end-to-end wall-clock for the figure.
+pub fn finish(elapsed_secs: f64) -> Option<TimingSummary> {
+    let mut a = ACTIVE.lock().expect("timing collector poisoned").take()?;
+    a.points.sort_by_key(|&(i, _)| i);
+    let points: Vec<PointTiming> = a.points.into_iter().map(|(_, p)| p).collect();
+    let compute_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
+    Some(TimingSummary {
+        id: a.id,
+        jobs_requested: a.jobs_requested,
+        jobs_effective: simkit::par::effective_jobs(a.jobs_requested),
+        seeds: a.seeds,
+        compute_secs,
+        elapsed_secs,
+        speedup: if elapsed_secs > 0.0 {
+            compute_secs / elapsed_secs
+        } else {
+            1.0
+        },
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A single test covers the whole lifecycle: the collector is a
+    // process-wide singleton, so interleaved tests would race on it.
+    #[test]
+    fn collector_lifecycle_records_sorts_and_resets() {
+        assert!(finish(1.0).is_none(), "no collection active initially");
+
+        begin("figX", 4, 3);
+        expect_items(2);
+        // Record out of order, as parallel workers would.
+        record(1, "swap", 0.5, 2.0);
+        record(0, "nothing", 0.5, 1.0);
+        let s = finish(1.5).expect("collection was active");
+        assert_eq!(s.id, "figX");
+        assert_eq!(s.jobs_requested, 4);
+        assert_eq!(s.jobs_effective, 4);
+        assert_eq!(s.seeds, 3);
+        assert_eq!(s.points.len(), 2);
+        // Deterministic sweep order restored.
+        assert_eq!(s.points[0].series, "nothing");
+        assert_eq!(s.points[1].series, "swap");
+        assert!((s.compute_secs - 3.0).abs() < 1e-12);
+        assert!((s.speedup - 2.0).abs() < 1e-12);
+
+        // The collection is consumed; recording is a no-op again.
+        record(0, "late", 0.0, 1.0);
+        assert!(finish(1.0).is_none());
+    }
+}

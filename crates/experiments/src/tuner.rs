@@ -9,7 +9,7 @@
 use crate::config::Scale;
 use crate::figures::{onoff_duty, platform};
 use serde::{Deserialize, Serialize};
-use simulator::runner::run_replicated;
+use simulator::runner::{run_replicated, run_replicated_jobs};
 use simulator::strategies::{Nothing, Swap};
 use simulator::AppSpec;
 use swap_core::{HistoryWindow, PolicyParams, Predictor};
@@ -64,22 +64,23 @@ pub fn tune(duty: f64, state_bytes: f64, scale: &Scale) -> (f64, Vec<TunedPolicy
     app.iterations = scale.iterations;
     let spec = platform(onoff_duty(duty.clamp(0.0, 0.99)));
     let seeds = scale.seed_list();
-    let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds)
+    // The baseline fans over seeds; the grid then fans over policies —
+    // both bit-identical to serial at any `jobs` setting.
+    let nothing = run_replicated_jobs(&spec, &app, &Nothing, 4, &seeds, scale.jobs)
         .execution_time
         .mean;
 
-    let mut results: Vec<TunedPolicy> = grid()
-        .into_iter()
-        .map(|policy| {
-            let r = run_replicated(&spec, &app, &Swap::new(policy), 32, &seeds);
+    let candidates = grid();
+    let mut results: Vec<TunedPolicy> =
+        simkit::par::par_map(&candidates, scale.jobs, |_, policy| {
+            let r = run_replicated(&spec, &app, &Swap::new(*policy), 32, &seeds);
             TunedPolicy {
-                policy,
+                policy: *policy,
                 mean_time: r.execution_time.mean,
                 benefit: 1.0 - r.execution_time.mean / nothing,
                 adaptations: r.mean_adaptations,
             }
-        })
-        .collect();
+        });
     results.sort_by(|a, b| a.mean_time.total_cmp(&b.mean_time));
     (nothing, results)
 }
@@ -93,6 +94,7 @@ mod tests {
             seeds: 2,
             sweep_points: 2,
             iterations: 10,
+            jobs: 0,
         }
     }
 

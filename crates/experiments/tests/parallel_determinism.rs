@@ -1,0 +1,65 @@
+//! The parallel sweep engine's core guarantee, asserted end-to-end: the
+//! artifacts a figure writes are **byte-identical** for every `--jobs`
+//! setting. Scheduling may reorder the work; the output may not change.
+
+use experiments::figures::fig4_techniques_vs_dynamism;
+use experiments::{FigureData, Scale};
+
+fn scale_with_jobs(jobs: usize) -> Scale {
+    Scale {
+        seeds: 3,
+        sweep_points: 3,
+        iterations: 6,
+        jobs,
+    }
+}
+
+fn artifacts(fig: &FigureData) -> (String, String) {
+    (
+        fig.to_csv(),
+        serde_json::to_string_pretty(fig).expect("figure serializes"),
+    )
+}
+
+#[test]
+fn fig4_csv_and_json_are_byte_identical_across_jobs() {
+    let (serial_csv, serial_json) = artifacts(&fig4_techniques_vs_dynamism(&scale_with_jobs(1)));
+    for jobs in [0, 2, 4] {
+        let (csv, json) = artifacts(&fig4_techniques_vs_dynamism(&scale_with_jobs(jobs)));
+        assert_eq!(csv, serial_csv, "CSV differs at jobs={jobs}");
+        assert_eq!(json, serial_json, "JSON differs at jobs={jobs}");
+    }
+}
+
+#[test]
+fn ablation_and_extension_sweeps_are_jobs_invariant() {
+    // One representative of each non-grid sweep shape: the paired-cell
+    // item sweep (commmodel) and the irregular-x item sweep (payback).
+    for gen in [
+        experiments::ablations::ablation_commmodel as fn(&Scale) -> FigureData,
+        experiments::ablations::ablation_payback,
+        experiments::extensions::ext_granularity,
+    ] {
+        let serial = artifacts(&gen(&scale_with_jobs(1)));
+        let parallel = artifacts(&gen(&scale_with_jobs(4)));
+        assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn scenario_results_are_jobs_invariant() {
+    let mut scenario = experiments::scenario::Scenario::template();
+    scenario.replications = 4;
+    scenario.app.iterations = 5;
+    scenario.jobs = 1;
+    let serial = scenario.run();
+    scenario.jobs = 4;
+    let parallel = scenario.run();
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.mean_adaptations, b.mean_adaptations);
+        assert_eq!(a.mean_adapt_time, b.mean_adapt_time);
+    }
+}

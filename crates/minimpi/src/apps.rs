@@ -87,11 +87,11 @@ impl IterativeApp for JacobiApp {
         // Jacobi sweep into a fresh buffer.
         let mut next = state.u.clone();
         let mut residual = 0.0f64;
-        for i in 0..m {
+        for (i, cell) in next.iter_mut().enumerate() {
             let l = if i == 0 { left } else { state.u[i - 1] };
             let r = if i + 1 == m { right } else { state.u[i + 1] };
-            next[i] = 0.5 * (l + r);
-            residual = residual.max((next[i] - state.u[i]).abs());
+            *cell = 0.5 * (l + r);
+            residual = residual.max((*cell - state.u[i]).abs());
         }
         state.u = next;
         state.steps += 1;
@@ -158,19 +158,18 @@ impl IterativeApp for ParticleApp {
         // Soft-sphere repulsion: f(r) = (1 − |r|) for |r| < 1.
         let n = state.x.len();
         let mut force = vec![0.0f64; n];
-        for i in 0..n {
-            let xi = state.x[i];
+        for (f, &xi) in force.iter_mut().zip(&state.x) {
             for &xj in &all {
                 let r = xi - xj;
                 let d = r.abs();
                 if d > 0.0 && d < 1.0 {
-                    force[i] += r.signum() * (1.0 - d);
+                    *f += r.signum() * (1.0 - d);
                 }
             }
         }
-        for i in 0..n {
-            state.v[i] += force[i] * self.dt;
-            state.x[i] += state.v[i] * self.dt;
+        for ((v, x), &f) in state.v.iter_mut().zip(state.x.iter_mut()).zip(&force) {
+            *v += f * self.dt;
+            *x += *v * self.dt;
         }
         state.steps += 1;
 
@@ -366,9 +365,14 @@ impl IterativeApp for CgApp {
         // A is SPD; pAp = 0 only when p = 0, i.e. already converged.
         let alpha = if pap > 0.0 { rr_old / pap } else { 0.0 };
 
-        for i in 0..m {
-            state.x[i] += alpha * state.p[i];
-            state.r[i] -= alpha * ap[i];
+        for ((x, r), (&p, &a)) in state
+            .x
+            .iter_mut()
+            .zip(state.r.iter_mut())
+            .zip(state.p.iter().zip(&ap))
+        {
+            *x += alpha * p;
+            *r -= alpha * a;
         }
         let rr_new_local: f64 = state.r.iter().map(|v| v * v).sum();
         let rr_new = comm.allreduce(&rr_new_local, |a, b| a + b);

@@ -55,11 +55,9 @@ impl SlotComm {
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value.clone());
-            for s in 0..self.size() {
-                if s != root {
-                    let msg = self.recv_raw(s, tag);
-                    out[s] = Some(msg.decode());
-                }
+            for s in (0..self.size()).filter(|&s| s != root) {
+                let msg = self.recv_raw(s, tag);
+                out[s] = Some(msg.decode());
             }
             Some(out.into_iter().map(|v| v.expect("gathered all")).collect())
         } else {
@@ -125,9 +123,9 @@ impl SlotComm {
         if self.rank() == root {
             let parts = parts.expect("root must supply the parts");
             assert_eq!(parts.len(), self.size(), "one part per slot");
-            for s in 0..self.size() {
+            for (s, part) in parts.iter().enumerate() {
                 if s != root {
-                    self.send_internal(s, tag, &parts[s]);
+                    self.send_internal(s, tag, part);
                 }
             }
             parts[root].clone()
@@ -238,8 +236,8 @@ mod tests {
         // roots; sequence numbering must keep them separate even though
         // rank 2 posts its sends before anyone receives.
         let out = with_comm(3, |rank, comm| {
-            let a = comm.broadcast(0, &(rank == 0).then_some(1u8).unwrap_or(0));
-            let b = comm.broadcast(2, &(rank == 2).then_some(2u8).unwrap_or(0));
+            let a = comm.broadcast(0, &if rank == 0 { 1u8 } else { 0 });
+            let b = comm.broadcast(2, &if rank == 2 { 2u8 } else { 0 });
             (a, b)
         });
         assert!(out.iter().all(|&(a, b)| a == 1 && b == 2));

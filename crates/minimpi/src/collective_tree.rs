@@ -63,7 +63,7 @@ impl SlotComm {
         let mut acc = value.clone();
         let mut step = 1;
         while step < size {
-            if vrank % (2 * step) == 0 {
+            if vrank.is_multiple_of(2 * step) {
                 let peer = vrank + step;
                 if peer < size {
                     let src = (peer + root) % size;
@@ -210,8 +210,8 @@ mod tests {
         // Alternate algorithms call-by-call; the shared sequence counter
         // must keep every rendezvous distinct.
         let out = with_comm(4, |rank, comm| {
-            let a = comm.broadcast_tree(0, &(rank == 0).then_some(7u8).unwrap_or(0));
-            let b = comm.broadcast(1, &(rank == 1).then_some(8u8).unwrap_or(0));
+            let a = comm.broadcast_tree(0, &if rank == 0 { 7u8 } else { 0 });
+            let b = comm.broadcast(1, &if rank == 1 { 8u8 } else { 0 });
             let c = comm.allreduce_tree(&1u32, |x, y| x + y);
             let d = comm.allreduce(&1u32, |x, y| x + y);
             comm.barrier_dissemination();

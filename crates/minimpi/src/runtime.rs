@@ -598,7 +598,7 @@ fn manager_loop(
         let exchanges: Vec<Exchange> = match &config.decider {
             Decider::Never => Vec::new(),
             Decider::ForceEvery(k) => {
-                if iter % k == 0 && !spares.is_empty() {
+                if iter.is_multiple_of(*k) && !spares.is_empty() {
                     let slot = (iter / k - 1) % n;
                     vec![Exchange {
                         slot,

@@ -36,7 +36,7 @@ fn json_round_trip_is_bitwise_exact_for_adversarial_f64() {
 #[test]
 fn vectors_of_floats_round_trip_bitwise() {
     let xs: Vec<f64> = (0..1000)
-        .map(|i| (i as f64 * 0.7310588).sin() * 10f64.powi((i % 60) as i32 - 30))
+        .map(|i| (i as f64 * 0.7310588).sin() * 10f64.powi((i % 60) - 30))
         .collect();
     let m = Msg::encode(0, 2, &xs);
     let back: Vec<f64> = m.decode();

@@ -15,7 +15,10 @@
 //! * a **shared-link model** ([`link::SharedLink`], [`link::FluidLink`])
 //!   with latency/bandwidth semantics and fluid max–min fair sharing among
 //!   concurrent flows,
-//! * seeded **RNG plumbing** ([`rng`]) so every simulation is reproducible.
+//! * seeded **RNG plumbing** ([`rng`]) so every simulation is reproducible,
+//! * a deterministic **parallel map** ([`par::par_map`]) used by the
+//!   experiment engine to fan replications out over worker threads
+//!   without perturbing results.
 //!
 //! Everything is pure, single-threaded and deterministic: the same seed and
 //! parameters always produce bit-identical results, which is what makes the
@@ -28,6 +31,7 @@ pub mod cpu;
 pub mod engine;
 pub mod event;
 pub mod link;
+pub mod par;
 pub mod rng;
 pub mod time;
 pub mod timeline;

@@ -1,0 +1,137 @@
+//! Deterministic parallel map over an indexed work list.
+//!
+//! The experiment engine fans replicated simulations out over worker
+//! threads. Determinism is preserved by construction: each work item is a
+//! pure function of its index (seed, sweep point, strategy), and every
+//! result is written into a pre-indexed slot, so the output vector is
+//! bit-identical to the serial run regardless of how the OS schedules the
+//! workers. Only the *wall-clock* changes with `jobs`.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a `--jobs` style knob: `0` means "use all available
+/// parallelism", anything else is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs != 0 {
+        return jobs;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` using up to `jobs` worker threads (`0` = auto),
+/// returning results in item order.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them for
+/// the determinism guarantee to hold — it is invoked exactly once per
+/// item, but in an unspecified order and from unspecified threads.
+/// `jobs <= 1` (after resolution) runs serially on the caller's thread
+/// with no thread machinery at all, so `par_map(.., 1, f)` is the exact
+/// serial loop.
+///
+/// Work is distributed by an atomic cursor (work stealing), so uneven
+/// item costs — long Figure 6 runs next to quiescent ones — do not leave
+/// workers idle.
+///
+/// # Panics
+/// Propagates the first panic raised by `f`.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
+    let slots = std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(i, item);
+                // The receiver lives in this same scope; a send can only
+                // fail once the collector is gone, in which case the
+                // result is moot.
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx.iter() {
+            slots[i] = Some(r);
+        }
+        slots
+    });
+    // The scope has joined every worker; a worker panic propagated above,
+    // so every slot is filled here.
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_exactly() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [0, 1, 2, 3, 7, 64] {
+            let parallel = par_map(&items, jobs, |_, &x| x * x + 1);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn preserves_index_order_under_uneven_costs() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = par_map(&items, 4, |i, _| {
+            // Make early items the slowest so completion order inverts
+            // submission order.
+            std::thread::sleep(std::time::Duration::from_micros(
+                (items.len() - i) as u64 * 50,
+            ));
+            i
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u8], 4, |_, _| 7);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_at_least_one() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(5), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map(&items, 2, |i, _| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -87,10 +87,23 @@ pub struct ReplicatedResult {
     /// The raw per-seed results.
     #[serde(skip)]
     pub runs: Vec<RunResult>,
+    /// Wall-clock seconds this process spent simulating each seed,
+    /// parallel to `runs`. Instrumentation only — excluded from
+    /// serialization so figure payloads stay independent of the host
+    /// machine and of `jobs`.
+    #[serde(skip)]
+    pub seed_wall_secs: Vec<f64>,
 }
 
 /// Runs `strategy` on `seeds.len()` independent realizations of
-/// `spec`/`app`, allocating `allocated` processes.
+/// `spec`/`app`, allocating `allocated` processes. Replications run
+/// serially; see [`run_replicated_jobs`] for the multi-threaded form
+/// (both produce bit-identical results).
+///
+/// The example asserts structural properties that hold for every seed
+/// set (paired seeds, coherent statistics, NOTHING never adapting) —
+/// which strategy wins on three short replications is load luck, and the
+/// statistical comparisons live in the experiment suite at real scale.
 ///
 /// ```
 /// use loadmodel::OnOffSource;
@@ -108,7 +121,16 @@ pub struct ReplicatedResult {
 ///
 /// let nothing = run_replicated(&spec, &app, &Nothing, 4, &seeds);
 /// let swap = run_replicated(&spec, &app, &Swap::greedy(), 32, &seeds);
-/// assert!(swap.execution_time.mean < nothing.execution_time.mean);
+///
+/// // Same seeds → same platforms: the comparison is paired. Each result
+/// // aggregates one run per seed with coherent statistics.
+/// assert_eq!(nothing.execution_time.n, 3);
+/// assert_eq!(swap.execution_time.n, 3);
+/// assert!(nothing.execution_time.min <= nothing.execution_time.median);
+/// assert!(nothing.execution_time.median <= nothing.execution_time.max);
+/// // NOTHING never adapts; swapping pays per-adaptation transfer time.
+/// assert_eq!(nothing.mean_adaptations, 0.0);
+/// assert!(swap.mean_adapt_time >= 0.0);
 /// ```
 ///
 /// # Panics
@@ -120,15 +142,36 @@ pub fn run_replicated(
     allocated: usize,
     seeds: &[u64],
 ) -> ReplicatedResult {
+    run_replicated_jobs(spec, app, strategy, allocated, seeds, 1)
+}
+
+/// Like [`run_replicated`], but fans the per-seed simulations out over
+/// up to `jobs` worker threads (`0` = all available parallelism).
+///
+/// Each replication is a pure function of its seed — the platform is
+/// realized from the seed inside the worker — and results land in
+/// pre-indexed slots, so the output is **bit-identical** to the serial
+/// run regardless of scheduling; only the wall-clock changes.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn run_replicated_jobs(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+) -> ReplicatedResult {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let runs: Vec<RunResult> = seeds
-        .iter()
-        .map(|&seed| {
-            let platform = spec.realize(seed);
-            let ctx = RunContext::new(&platform, app, allocated);
-            strategy.run(&ctx)
-        })
-        .collect();
+    let timed_runs: Vec<(RunResult, f64)> = simkit::par::par_map(seeds, jobs, |_, &seed| {
+        let t0 = std::time::Instant::now();
+        let platform = spec.realize(seed);
+        let ctx = RunContext::new(&platform, app, allocated);
+        let run = strategy.run(&ctx);
+        (run, t0.elapsed().as_secs_f64())
+    });
+    let (runs, seed_wall_secs): (Vec<RunResult>, Vec<f64>) = timed_runs.into_iter().unzip();
     let times: Vec<f64> = runs.iter().map(|r| r.execution_time).collect();
     ReplicatedResult {
         strategy: strategy.name(),
@@ -137,6 +180,7 @@ pub fn run_replicated(
             / runs.len() as f64,
         mean_adapt_time: runs.iter().map(|r| r.adapt_time_total).sum::<f64>() / runs.len() as f64,
         runs,
+        seed_wall_secs,
     }
 }
 
@@ -235,5 +279,28 @@ mod tests {
         let spec = tiny_spec(LoadSpec::Unloaded);
         let r = run_replicated(&spec, &tiny_app(), &Nothing, 2, &[5, 5]);
         assert_eq!(r.execution_time.min, r.execution_time.max);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        use crate::strategies::Swap;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let app = tiny_app();
+        let seeds = default_seeds(9);
+        let serial = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        for jobs in [0, 2, 3, 8] {
+            let parallel = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, jobs);
+            assert_eq!(
+                parallel.execution_time, serial.execution_time,
+                "jobs {jobs}"
+            );
+            assert_eq!(parallel.mean_adaptations, serial.mean_adaptations);
+            assert_eq!(parallel.mean_adapt_time, serial.mean_adapt_time);
+            for (a, b) in parallel.runs.iter().zip(&serial.runs) {
+                assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+                assert_eq!(a.iterations.len(), b.iterations.len());
+            }
+            assert_eq!(parallel.seed_wall_secs.len(), seeds.len());
+        }
     }
 }

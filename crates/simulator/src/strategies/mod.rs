@@ -60,7 +60,12 @@ impl<'a> RunContext<'a> {
 
 /// An execution strategy: how the application reacts (or not) to the
 /// changing environment.
-pub trait Strategy {
+///
+/// `Send + Sync` is a supertrait so the replicated runner can share one
+/// strategy value across worker threads; strategies are parameter
+/// bundles (policies, thresholds), so this costs implementations
+/// nothing.
+pub trait Strategy: Send + Sync {
     /// Human-readable label used in results and figures.
     fn name(&self) -> String;
     /// Simulates one full application run.
@@ -90,7 +95,11 @@ pub(crate) mod testutil {
     pub fn small_app() -> AppSpec {
         AppSpec {
             n_active: 2,
-            iterations: 10,
+            // 30 iterations × ~20 s ≈ 600 s: each replication spans
+            // several 80 s load sojourns (see `moderate_onoff`), so
+            // benefit/harm comparisons measure the policies rather than
+            // one lucky or unlucky load event.
+            iterations: 30,
             flops_per_proc_iter: 3e9, // 15–30 s/iteration on these hosts
             bytes_per_proc_iter: 1e5,
             process_state_bytes: 1e6,
@@ -98,7 +107,14 @@ pub(crate) mod testutil {
     }
 
     pub fn moderate_onoff() -> LoadSpec {
-        // Long-lived load events (mean ON = 250 s) at 50% duty.
-        LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.08, 20.0))
+        // 50% duty with mean ON = mean OFF = 80 s: load events persist
+        // across ~4 of `small_app`'s ~20 s iterations (so history-driven
+        // policies can exploit them) while a 10-iteration run still spans
+        // ~2.5 sojourns per host — the same iteration:event:run timescale
+        // ordering DESIGN.md §"Dynamism axis" fixes for the experiment
+        // sweeps (60 s iterations, 375 s events, multi-hour runs). With
+        // events longer than the whole run the environment would be
+        // static per-replication and adaptation could never pay.
+        LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.25, 20.0))
     }
 }

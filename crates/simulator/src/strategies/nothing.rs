@@ -65,14 +65,14 @@ mod tests {
         let slowest = p.hosts[active[1]].speed;
         let compute = app.flops_per_proc_iter / slowest;
         let comm = p.link.bulk_transfer_time(2, app.bytes_per_proc_iter);
-        let expected = p.startup_time(2) + 10.0 * (compute + comm);
+        let expected = p.startup_time(2) + app.iterations as f64 * (compute + comm);
         assert!(
             (r.execution_time - expected).abs() < 1e-6,
             "got {}, expected {expected}",
             r.execution_time
         );
         assert_eq!(r.adaptations, 0);
-        assert_eq!(r.iterations.len(), 10);
+        assert_eq!(r.iterations.len(), app.iterations);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use mpi_swap::minimpi::Registry;
 /// The "legacy" computation: a per-rank power-method step on a shared
 /// vector norm — the kind of loop body users already have. It knows
 /// nothing about swapping; it reads and writes plain variables.
-fn legacy_iteration(x: &mut Vec<f64>, gamma: &mut f64, comm: &mut SlotComm) {
+fn legacy_iteration(x: &mut [f64], gamma: &mut f64, comm: &mut SlotComm) {
     // Local update…
     for (i, v) in x.iter_mut().enumerate() {
         *v = 0.5 * *v + 1.0 / (i as f64 + 1.0 + comm.rank() as f64);

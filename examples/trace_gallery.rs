@@ -18,12 +18,18 @@ fn render(trace: &LoadTrace, horizon: f64, height: usize) -> String {
     let cols = 76usize;
     let peak = stats::peak_count(trace, horizon).max(1.0);
     let mut rows = vec![vec![' '; cols]; height];
-    for c in 0..cols {
-        let t = horizon * c as f64 / (cols - 1) as f64;
-        let k = trace.count_at(t);
-        let filled = ((k / peak) * height as f64).round() as usize;
-        for r in 0..filled.min(height) {
-            rows[height - 1 - r][c] = '#';
+    let filled: Vec<usize> = (0..cols)
+        .map(|c| {
+            let t = horizon * c as f64 / (cols - 1) as f64;
+            let k = trace.count_at(t);
+            (((k / peak) * height as f64).round() as usize).min(height)
+        })
+        .collect();
+    for (r, row) in rows.iter_mut().enumerate() {
+        for (cell, &f) in row.iter_mut().zip(&filled) {
+            if height - r <= f {
+                *cell = '#';
+            }
         }
     }
     let mut out = String::new();
@@ -33,7 +39,7 @@ fn render(trace: &LoadTrace, horizon: f64, height: usize) -> String {
         out.push('\n');
     }
     out.push('+');
-    out.extend(std::iter::repeat('-').take(cols));
+    out.extend(std::iter::repeat_n('-', cols));
     out.push('\n');
     out
 }

@@ -7,7 +7,7 @@ use mpi_swap::minimpi::runtime::{run_iterative, Decider, RuntimeConfig};
 use mpi_swap::swap_core::{PolicyParams, SwapCost};
 
 fn crushed(k: usize) -> LoadTrace {
-    LoadTrace::from_intervals(std::iter::repeat((0.0, 1e9)).take(k).collect::<Vec<_>>())
+    LoadTrace::from_intervals(std::iter::repeat_n((0.0, 1e9), k).collect::<Vec<_>>())
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Property test for the deterministic parallel runner: for *arbitrary*
+//! platforms, applications, strategies and seed sets, fanning the
+//! replications over worker threads must reproduce the serial result
+//! bit for bit.
+
+use mpi_swap::loadmodel::OnOffSource;
+use mpi_swap::simulator::platform::{LoadSpec, PlatformSpec};
+use mpi_swap::simulator::runner::run_replicated_jobs;
+use mpi_swap::simulator::strategies::{Cr, Dlb, Nothing, Strategy, Swap};
+use mpi_swap::simulator::AppSpec;
+use proptest::prelude::*;
+
+// `Strategy` clashes with simulator::strategies::Strategy; alias the
+// proptest trait.
+use proptest::strategy::Strategy as Strategy2;
+
+#[derive(Debug, Clone)]
+struct Config {
+    n_hosts: usize,
+    n_active: usize,
+    iterations: usize,
+    duty: f64,
+    seeds: Vec<u64>,
+    strategy_pick: u8,
+    jobs: usize,
+}
+
+fn config_strategy() -> impl Strategy2<Value = Config> {
+    (
+        4usize..10,                            // n_hosts
+        1usize..4,                             // n_active
+        2usize..6,                             // iterations
+        0.0f64..0.9,                           // duty
+        prop::collection::vec(0u64..40, 1..8), // seed set (any size, dups allowed)
+        0u8..4,                                // strategy selector
+        2usize..9,                             // parallel jobs
+    )
+        .prop_map(
+            |(n_hosts, n_active, iterations, duty, seeds, strategy_pick, jobs)| Config {
+                n_hosts,
+                n_active: n_active.min(n_hosts),
+                iterations,
+                duty,
+                seeds,
+                strategy_pick,
+                jobs,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_replication_matches_serial_bit_for_bit(cfg in config_strategy()) {
+        let spec = PlatformSpec {
+            n_hosts: cfg.n_hosts,
+            speed_range: (1e8, 4e8),
+            link: mpi_swap::simkit::link::SharedLink::hpdc03_lan(),
+            startup_per_process: 0.75,
+            load: LoadSpec::OnOff(OnOffSource::for_duty_cycle(cfg.duty, 0.08, 20.0)),
+            horizon: 200_000.0,
+        };
+        let app = AppSpec {
+            n_active: cfg.n_active,
+            iterations: cfg.iterations,
+            flops_per_proc_iter: 1e9,
+            bytes_per_proc_iter: 1e5,
+            process_state_bytes: 1e6,
+        };
+        let strategy: Box<dyn Strategy> = match cfg.strategy_pick {
+            0 => Box::new(Nothing),
+            1 => Box::new(Dlb),
+            2 => Box::new(Swap::greedy()),
+            _ => Box::new(Cr::greedy()),
+        };
+        let alloc = cfg.n_hosts;
+
+        let serial =
+            run_replicated_jobs(&spec, &app, strategy.as_ref(), alloc, &cfg.seeds, 1);
+        let parallel =
+            run_replicated_jobs(&spec, &app, strategy.as_ref(), alloc, &cfg.seeds, cfg.jobs);
+
+        // The whole Summary (mean, stderr, quantiles) must match exactly,
+        // not approximately: same seeds -> same runs -> same bits.
+        prop_assert_eq!(parallel.execution_time, serial.execution_time);
+        prop_assert_eq!(parallel.mean_adaptations, serial.mean_adaptations);
+        prop_assert_eq!(parallel.mean_adapt_time, serial.mean_adapt_time);
+        prop_assert_eq!(parallel.runs.len(), serial.runs.len());
+        for (p, s) in parallel.runs.iter().zip(&serial.runs) {
+            prop_assert_eq!(p.execution_time.to_bits(), s.execution_time.to_bits());
+            prop_assert_eq!(p.adaptations, s.adaptations);
+            prop_assert_eq!(p.adapt_time_total.to_bits(), s.adapt_time_total.to_bits());
+        }
+        prop_assert_eq!(parallel.seed_wall_secs.len(), cfg.seeds.len());
+    }
+}

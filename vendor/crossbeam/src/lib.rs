@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` module subset `minimpi` uses: clonable MPMC
+//! `Sender`/`Receiver` pairs from `bounded`/`unbounded`, with
+//! disconnect-aware `send`/`recv`/`try_recv`. Built on `Mutex` +
+//! `Condvar` rather than a lock-free queue — correctness and the same
+//! observable semantics, traded against raw throughput the simulator
+//! does not need.
+
+pub mod channel;

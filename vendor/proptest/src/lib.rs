@@ -1,0 +1,130 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), range and tuple
+//! strategies, `collection::vec`, `sample::select`, `any::<bool>()`,
+//! `prop_map`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **Deterministic**: every case's RNG seed derives from the test
+//!   name and case index, so failures reproduce exactly across runs and
+//!   machines — there is no persistence file because none is needed.
+//! * **No shrinking**: a failing case reports its seed and values
+//!   instead of minimizing. The deterministic seeding makes re-running
+//!   a failure trivial.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` paths (`prop::sample::select`, ...) — upstream exposes the
+/// same re-export module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::sample;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs each `fn name(pat in strategy, ...) { body }` as a `#[test]`
+/// over `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = &$cfg;
+            $crate::test_runner::run(stringify!($name), __config, |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                #[allow(unreachable_code)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+    )*};
+}
+
+/// Fails the current case (with an optional formatted message) without
+/// panicking mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case; the runner draws a replacement without
+/// counting it against `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! The deterministic case runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions don't hold; draw a replacement.
+    Reject(String),
+    /// A property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// FNV-1a, so the per-test seed base is stable across platforms and
+/// runs (determinism is the whole point of this stub).
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` until `config.cases` cases pass, drawing each case's RNG
+/// from `hash(test name) ^ attempt`. Panics (failing the enclosing
+/// `#[test]`) on the first property failure, with the seed needed to
+/// reproduce it.
+pub fn run<F>(name: &str, config: &Config, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = config.cases as u64 * 10 + 256;
+    while passed < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "proptest `{name}`: too many rejected cases \
+                 ({passed}/{} passed after {max_attempts} attempts)",
+                config.cases
+            );
+        }
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest `{name}` failed at case {} (seed {seed:#x}):\n{msg}",
+                passed + 1
+            ),
+        }
+    }
+}

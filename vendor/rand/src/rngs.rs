@@ -1,0 +1,46 @@
+//! Named generators. `StdRng` here is xoshiro256++ (small, fast, solid
+//! statistical quality) rather than upstream's ChaCha12 — the workspace
+//! only needs per-seed determinism, not upstream stream compatibility.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // An all-zero state is the one fixed point of the generator;
+        // displace it deterministically.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,263 @@
+//! Deserialization half: `Deserializer`/`Deserialize` traits, impls for
+//! std types, and the field-extraction helpers the derive macro emits
+//! calls to.
+
+use crate::value::{from_value, Number, Value, ValueDeserializer};
+use crate::Error as VError;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Error constraint for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::fmt::Display {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A source of one self-describing value.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value constructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned deserialization — blanket-implemented, usable as a bound
+/// exactly like upstream's.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn unexpected<E: Error>(want: &str, got: &Value) -> E {
+    E::custom(format!(
+        "invalid type: expected {want}, found {}",
+        got.type_name()
+    ))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = match v {
+                    Value::Num(Number::U64(n)) => n,
+                    Value::Num(Number::I64(n)) if n >= 0 => n as u64,
+                    other => return Err(unexpected("unsigned integer", &other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: i64 = match v {
+                    Value::Num(Number::I64(n)) => n,
+                    Value::Num(Number::U64(n)) => i64::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("integer {n} out of range")))?,
+                    other => return Err(unexpected("integer", &other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Num(n) => Ok(n.as_f64()),
+            // A bare f64 does NOT accept null: serde_json would have
+            // written non-finite values as null and then refused to
+            // read them back, and swap-core's `serde_maybe_infinite`
+            // depends on that asymmetry (it goes through Option<f64>).
+            other => Err(unexpected("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Num(n) => Ok(n.as_f64() as f32),
+            other => Err(unexpected("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-char string", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+fn seq_items<E: Error>(v: Value) -> Result<Vec<Value>, E> {
+    match v {
+        Value::Seq(items) => Ok(items),
+        other => Err(unexpected("sequence", &other)),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        seq_items::<D::Error>(d.take_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        seq_items::<D::Error>(d.take_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let items = seq_items::<__D::Error>(d.take_value()?)?;
+                if items.len() != $len {
+                    return Err(__D::Error::custom(format!(
+                        "expected a tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($({
+                    let _ = $n;
+                    from_value::<$t>(it.next().unwrap()).map_err(__D::Error::custom)?
+                },)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+fn map_entries<E: Error>(v: Value) -> Result<Vec<(String, Value)>, E> {
+    match v {
+        Value::Map(entries) => Ok(entries),
+        other => Err(unexpected("map", &other)),
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries::<D::Error>(d.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| Ok((k, from_value(v).map_err(D::Error::custom)?)))
+            .collect()
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries::<D::Error>(d.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| Ok((k, from_value(v).map_err(D::Error::custom)?)))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_value(d.take_value()?)
+            .map(Box::new)
+            .map_err(D::Error::custom)
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+// ---- helpers used by the derive macro ------------------------------
+
+/// Removes and deserializes a named field from a struct's entry list.
+pub fn take_field<T: DeserializeOwned>(
+    entries: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, VError> {
+    match entries.iter().position(|(k, _)| k == name) {
+        Some(idx) => from_value(entries.remove(idx).1),
+        None => Err(VError::msg(format!("missing field `{name}`"))),
+    }
+}
+
+/// Like `take_field`, but a missing field falls back to `Default`
+/// (`#[serde(default)]`).
+pub fn take_field_or_default<T: DeserializeOwned + Default>(
+    entries: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, VError> {
+    match entries.iter().position(|(k, _)| k == name) {
+        Some(idx) => from_value(entries.remove(idx).1),
+        None => Ok(T::default()),
+    }
+}
+
+/// Removes a named field as a raw value, for `#[serde(with = "...")]`
+/// modules. Missing fields surface as `Null` so `Option`-based with-
+/// modules treat absent and null alike.
+pub fn take_raw(entries: &mut Vec<(String, Value)>, name: &str) -> Value {
+    match entries.iter().position(|(k, _)| k == name) {
+        Some(idx) => entries.remove(idx).1,
+        None => Value::Null,
+    }
+}
+
+/// Wraps a raw value back into a deserializer for with-modules.
+pub fn value_deserializer(v: Value) -> ValueDeserializer {
+    ValueDeserializer::new(v)
+}

@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach crates.io, so the workspace vendors a
+//! compatible subset of the serde surface it actually uses. The design
+//! is value-based rather than visitor-based: serializers lower any
+//! `Serialize` type to a [`value::Value`] tree (field order preserved),
+//! and deserializers parse into the same tree and then build typed
+//! values from it. That keeps the hand-written derive macro small while
+//! preserving the externally observable formats (JSON shapes, field
+//! order, f64 bit-exactness) the workspace's tests pin down.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros share the trait names (separate namespaces), same
+// as upstream serde with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The concrete error used by the value layer and by both derive-side
+/// helper modules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}

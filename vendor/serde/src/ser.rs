@@ -1,0 +1,260 @@
+//! Serialization half: the `Serializer`/`Serialize` traits and impls
+//! for the std types the workspace serializes.
+
+use crate::value::{to_value, Number, Value};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Error constraint for serializers (mirrors `serde::ser::Error`).
+pub trait Error: Sized + std::fmt::Display {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A sink for one value. Unlike upstream's 30-method trait, everything
+/// funnels through `serialize_value`; the typed methods are provided
+/// conveniences so manual impls (e.g. `serde_maybe_infinite` in
+/// swap-core) read like upstream serde.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Num(Number::U64(v)))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.serialize_u64(v as u64)
+        } else {
+            self.serialize_value(Value::Num(Number::I64(v)))
+        }
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        // serde_json writes non-finite floats as null; keep that
+        // behaviour at the data-model level so every backend agrees.
+        if v.is_finite() {
+            self.serialize_value(Value::Num(Number::F64(v)))
+        } else {
+            self.serialize_value(Value::Null)
+        }
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_owned()))
+    }
+
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error> {
+        let value = to_value(v).map_err(Error::custom)?;
+        self.serialize_value(value)
+    }
+
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A value that can lower itself into the data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a, S: Serializer>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, S::Error> {
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(to_value(item).map_err(S::Error::custom)?);
+    }
+    Ok(Value::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![$(to_value(&self.$n).map_err(S::Error::custom)?),+];
+                serializer.serialize_value(Value::Seq(seq))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((k.clone(), to_value(v).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_value(Value::Map(map))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut map = Vec::with_capacity(self.len());
+        for k in keys {
+            map.push((k.clone(), to_value(&self[k]).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_value(Value::Map(map))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+// ---- helpers used by the derive macro ------------------------------
+
+/// Serializes one struct field into the output map. Generic so the
+/// generated code never needs to name field types.
+pub fn field<T: Serialize + ?Sized, E: Error>(
+    map: &mut Vec<(String, Value)>,
+    name: &str,
+    value: &T,
+) -> Result<(), E> {
+    map.push((name.to_owned(), to_value(value).map_err(E::custom)?));
+    Ok(())
+}
+
+/// Serializes one struct field through a `#[serde(with = "module")]`
+/// module's `serialize` function.
+pub fn field_with<T: ?Sized, E: Error>(
+    map: &mut Vec<(String, Value)>,
+    name: &str,
+    value: &T,
+    with: impl FnOnce(&T, crate::value::ValueSerializer) -> Result<Value, crate::Error>,
+) -> Result<(), E> {
+    map.push((
+        name.to_owned(),
+        with(value, crate::value::ValueSerializer).map_err(E::custom)?,
+    ));
+    Ok(())
+}

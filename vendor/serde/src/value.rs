@@ -1,0 +1,90 @@
+//! The self-describing data model every serializer/deserializer in this
+//! stub goes through.
+
+use crate::{de, ser, Error};
+
+/// A self-describing tree. `Map` is a `Vec` of pairs, not a hash map,
+/// so struct field order survives a round trip — serde_json's output
+/// ordering for derived structs depends on it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+/// Numeric payload. Integers keep their integer-ness (serde_json prints
+/// `3`, not `3.0`) and floats keep exact bits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+}
+
+impl Value {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Lowers any `Serialize` type to a `Value`.
+pub fn to_value<T: ser::Serialize + ?Sized>(v: &T) -> Result<Value, Error> {
+    v.serialize(ValueSerializer)
+}
+
+/// Builds a typed value back out of a `Value`.
+pub fn from_value<T: de::DeserializeOwned>(v: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer::new(v))
+}
+
+/// `Serializer` whose output *is* the value tree.
+pub struct ValueSerializer;
+
+impl ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+/// `Deserializer` over an owned value tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}

@@ -1,0 +1,393 @@
+//! String-based code generation for the parsed item shapes.
+
+use crate::parse::{apply_rename_all, Body, ContainerAttrs, Field, Item, Variant, VariantShape};
+
+const SER_ERR: &str = ".map_err(|__e| <__S::Error as ::serde::ser::Error>::custom(__e))?";
+const DE_ERR: &str = ".map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))?";
+
+fn ser_header(item: &Item) -> String {
+    let params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| format!("{g}: ::serde::Serialize"))
+        .collect();
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n",
+        name = item.name,
+    )
+}
+
+fn de_header(item: &Item) -> String {
+    let mut params: Vec<String> = vec!["'de".to_string()];
+    params.extend(
+        item.generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::de::DeserializeOwned")),
+    );
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<{params}> ::serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n",
+        params = params.join(", "),
+        name = item.name,
+    )
+}
+
+/// Emits the statements serializing `fields` of `prefix` (either
+/// `self.` access or bare bindings) into a map named `__map`.
+fn ser_fields(out: &mut String, fields: &[Field], accessor: impl Fn(&Field) -> String) {
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let access = accessor(f);
+        if let Some(with) = &f.attrs.with {
+            out.push_str(&format!(
+                "::serde::ser::field_with::<_, __S::Error>(&mut __map, {key:?}, {access}, \
+                 |__v, __s| {with}::serialize(__v, __s))?;\n",
+                key = f.key(),
+            ));
+        } else {
+            out.push_str(&format!(
+                "::serde::ser::field::<_, __S::Error>(&mut __map, {key:?}, {access})?;\n",
+                key = f.key(),
+            ));
+        }
+    }
+}
+
+/// Emits the field initializers deserializing `fields` out of a
+/// `Vec<(String, Value)>` named `__entries`.
+fn de_fields(out: &mut String, fields: &[Field]) {
+    for f in fields {
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "{name}: ::core::default::Default::default(),\n",
+                name = f.name
+            ));
+        } else if let Some(with) = &f.attrs.with {
+            out.push_str(&format!(
+                "{name}: {with}::deserialize(::serde::de::value_deserializer(\
+                 ::serde::de::take_raw(&mut __entries, {key:?}))){DE_ERR},\n",
+                name = f.name,
+                key = f.key(),
+            ));
+        } else if f.attrs.default {
+            out.push_str(&format!(
+                "{name}: ::serde::de::take_field_or_default(&mut __entries, {key:?}){DE_ERR},\n",
+                name = f.name,
+                key = f.key(),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}: ::serde::de::take_field(&mut __entries, {key:?}){DE_ERR},\n",
+                name = f.name,
+                key = f.key(),
+            ));
+        }
+    }
+}
+
+const EXPECT_MAP: &str =
+    "let mut __entries = match ::serde::Deserializer::take_value(__deserializer)? {\n\
+     ::serde::value::Value::Map(__m) => __m,\n\
+     __other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+     ::std::format!(\"invalid type: expected map, found {}\", __other.type_name()))),\n\
+     };\n";
+
+fn variant_key(attrs: &ContainerAttrs, v: &Variant) -> String {
+    if let Some(rename) = &v.attrs.rename {
+        return rename.clone();
+    }
+    match &attrs.rename_all {
+        Some(rule) => apply_rename_all(rule, &v.name),
+        None => v.name.clone(),
+    }
+}
+
+pub fn serialize_impl(item: &Item) -> Result<String, String> {
+    let mut out = ser_header(item);
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(
+                "let mut __map: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> \
+                 = ::std::vec::Vec::new();\n",
+            );
+            ser_fields(&mut out, fields, |f| format!("&self.{}", f.name));
+            out.push_str("__serializer.serialize_value(::serde::value::Value::Map(__map))\n");
+        }
+        Body::TupleStruct(1) => {
+            out.push_str("::serde::Serialize::serialize(&self.0, __serializer)\n");
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::value::to_value(&self.{i}){SER_ERR}"))
+                .collect();
+            out.push_str(&format!(
+                "__serializer.serialize_value(::serde::value::Value::Seq(::std::vec![{}]))\n",
+                items.join(", ")
+            ));
+        }
+        Body::UnitStruct => {
+            out.push_str("__serializer.serialize_unit()\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let key = variant_key(&item.attrs, v);
+                if let Some(tag) = &item.attrs.tag {
+                    // Internally tagged.
+                    match &v.shape {
+                        VariantShape::Unit => out.push_str(&format!(
+                            "Self::{name} => __serializer.serialize_value(\
+                             ::serde::value::Value::Map(::std::vec![({tag:?}.to_string(), \
+                             ::serde::value::Value::Str({key:?}.to_string()))])),\n",
+                            name = v.name,
+                        )),
+                        VariantShape::Struct(fields) => {
+                            let bindings: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            out.push_str(&format!(
+                                "Self::{name} {{ {binds} }} => {{\n\
+                                 let mut __map: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::value::Value)> = ::std::vec![({tag:?}.to_string(), \
+                                 ::serde::value::Value::Str({key:?}.to_string()))];\n",
+                                name = v.name,
+                                binds = bindings.join(", "),
+                            ));
+                            ser_fields(&mut out, fields, |f| f.name.clone());
+                            out.push_str(
+                                "__serializer.serialize_value(\
+                                 ::serde::value::Value::Map(__map))\n}\n",
+                            );
+                        }
+                        VariantShape::Tuple(_) => {
+                            return Err(format!(
+                                "internally tagged newtype variant `{}` is not supported",
+                                v.name
+                            ))
+                        }
+                    }
+                } else {
+                    // Externally tagged.
+                    match &v.shape {
+                        VariantShape::Unit => out.push_str(&format!(
+                            "Self::{name} => __serializer.serialize_value(\
+                             ::serde::value::Value::Str({key:?}.to_string())),\n",
+                            name = v.name,
+                        )),
+                        VariantShape::Tuple(1) => out.push_str(&format!(
+                            "Self::{name}(__f0) => {{\n\
+                             let __inner = ::serde::value::to_value(__f0){SER_ERR};\n\
+                             __serializer.serialize_value(::serde::value::Value::Map(\
+                             ::std::vec![({key:?}.to_string(), __inner)]))\n}}\n",
+                            name = v.name,
+                        )),
+                        VariantShape::Tuple(n) => {
+                            return Err(format!(
+                                "enum variant `{}` has {n} tuple fields; only newtype \
+                                 variants are supported",
+                                v.name
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let bindings: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            out.push_str(&format!(
+                                "Self::{name} {{ {binds} }} => {{\n\
+                                 let mut __map: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                                name = v.name,
+                                binds = bindings.join(", "),
+                            ));
+                            ser_fields(&mut out, fields, |f| f.name.clone());
+                            out.push_str(&format!(
+                                "__serializer.serialize_value(::serde::value::Value::Map(\
+                                 ::std::vec![({key:?}.to_string(), \
+                                 ::serde::value::Value::Map(__map))]))\n}}\n",
+                            ));
+                        }
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    Ok(out)
+}
+
+pub fn deserialize_impl(item: &Item) -> Result<String, String> {
+    let mut out = de_header(item);
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(EXPECT_MAP);
+            out.push_str("::core::result::Result::Ok(Self {\n");
+            de_fields(&mut out, fields);
+            out.push_str("})\n");
+        }
+        Body::TupleStruct(1) => {
+            out.push_str(&format!(
+                "::core::result::Result::Ok(Self(::serde::value::from_value(\
+                 ::serde::Deserializer::take_value(__deserializer)?){DE_ERR}))\n",
+            ));
+        }
+        Body::TupleStruct(n) => {
+            out.push_str(&format!(
+                "let __items = match ::serde::Deserializer::take_value(__deserializer)? {{\n\
+                 ::serde::value::Value::Seq(__s) if __s.len() == {n} => __s,\n\
+                 __other => return ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 \"expected a sequence of {n} elements\")),\n\
+                 }};\n\
+                 let mut __it = __items.into_iter();\n",
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|_| format!("::serde::value::from_value(__it.next().unwrap()){DE_ERR}"))
+                .collect();
+            out.push_str(&format!(
+                "::core::result::Result::Ok(Self({}))\n",
+                items.join(", ")
+            ));
+        }
+        Body::UnitStruct => {
+            out.push_str(
+                "let _ = ::serde::Deserializer::take_value(__deserializer)?;\n\
+                 ::core::result::Result::Ok(Self)\n",
+            );
+        }
+        Body::Enum(variants) => {
+            if let Some(tag) = &item.attrs.tag {
+                out.push_str(EXPECT_MAP);
+                out.push_str(&format!(
+                    "let __tag: ::std::string::String = \
+                     ::serde::de::take_field(&mut __entries, {tag:?}){DE_ERR};\n\
+                     match __tag.as_str() {{\n",
+                ));
+                for v in variants {
+                    let key = variant_key(&item.attrs, v);
+                    match &v.shape {
+                        VariantShape::Unit => out.push_str(&format!(
+                            "{key:?} => ::core::result::Result::Ok(Self::{name}),\n",
+                            name = v.name,
+                        )),
+                        VariantShape::Struct(fields) => {
+                            out.push_str(&format!(
+                                "{key:?} => ::core::result::Result::Ok(Self::{name} {{\n",
+                                name = v.name,
+                            ));
+                            de_fields(&mut out, fields);
+                            out.push_str("}),\n");
+                        }
+                        VariantShape::Tuple(_) => {
+                            return Err(format!(
+                                "internally tagged newtype variant `{}` is not supported",
+                                v.name
+                            ))
+                        }
+                    }
+                }
+                out.push_str(
+                    "__other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     ::std::format!(\"unknown variant `{}`\", __other))),\n}\n",
+                );
+            } else {
+                // Externally tagged: a bare string (unit variants) or a
+                // single-entry map.
+                out.push_str(
+                    "match ::serde::Deserializer::take_value(__deserializer)? {\n\
+                     ::serde::value::Value::Str(__s) => match __s.as_str() {\n",
+                );
+                for v in variants {
+                    if matches!(v.shape, VariantShape::Unit) {
+                        let key = variant_key(&item.attrs, v);
+                        out.push_str(&format!(
+                            "{key:?} => ::core::result::Result::Ok(Self::{name}),\n",
+                            name = v.name,
+                        ));
+                    }
+                }
+                out.push_str(
+                    "__other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     ::std::format!(\"unknown variant `{}`\", __other))),\n\
+                     },\n\
+                     ::serde::value::Value::Map(mut __m) if __m.len() == 1 => {\n\
+                     let (__k, __v) = __m.pop().unwrap();\n\
+                     match __k.as_str() {\n",
+                );
+                for v in variants {
+                    let key = variant_key(&item.attrs, v);
+                    match &v.shape {
+                        VariantShape::Unit => out.push_str(&format!(
+                            "{key:?} => ::core::result::Result::Ok(Self::{name}),\n",
+                            name = v.name,
+                        )),
+                        VariantShape::Tuple(1) => out.push_str(&format!(
+                            "{key:?} => ::core::result::Result::Ok(Self::{name}(\
+                             ::serde::value::from_value(__v){DE_ERR})),\n",
+                            name = v.name,
+                        )),
+                        VariantShape::Tuple(n) => {
+                            return Err(format!(
+                                "enum variant `{}` has {n} tuple fields; only newtype \
+                                 variants are supported",
+                                v.name
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            out.push_str(&format!(
+                                "{key:?} => {{\n\
+                                 let mut __entries = match __v {{\n\
+                                 ::serde::value::Value::Map(__m2) => __m2,\n\
+                                 __other => return ::core::result::Result::Err(\
+                                 <__D::Error as ::serde::de::Error>::custom(\
+                                 \"expected map for struct variant\")),\n\
+                                 }};\n\
+                                 ::core::result::Result::Ok(Self::{name} {{\n",
+                                name = v.name,
+                            ));
+                            de_fields(&mut out, fields);
+                            out.push_str("})\n}\n");
+                        }
+                    }
+                }
+                out.push_str(
+                    "__other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     ::std::format!(\"unknown variant `{}`\", __other))),\n\
+                     }\n\
+                     }\n\
+                     __other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                     ::std::format!(\"invalid type for enum: found {}\", __other.type_name()))),\n\
+                     }\n",
+                );
+            }
+        }
+    }
+    out.push_str("}\n}\n");
+    Ok(out)
+}

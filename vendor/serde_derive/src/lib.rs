@@ -1,0 +1,66 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so this parses
+//! the item's `TokenStream` by hand and emits generated impls as
+//! strings. It supports exactly the shapes the workspace derives:
+//!
+//! * named-field structs (with `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(with = "module")]`, `#[serde(rename = "...")]`)
+//! * newtype / tuple structs (newtype serializes transparently)
+//! * externally tagged enums with unit, newtype, and struct variants
+//! * internally tagged enums (`#[serde(tag = "...", rename_all =
+//!   "snake_case")]`) with unit and struct variants
+//! * simple generic parameters (plain idents, no bounds)
+//!
+//! Unsupported shapes fail with a `compile_error!` naming the gap, so a
+//! future derive that outgrows the subset fails loudly at build time
+//! instead of producing a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod codegen;
+mod parse;
+
+use parse::Item;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, codegen::serialize_impl)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, codegen::deserialize_impl)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> Result<String, String>) -> TokenStream {
+    let item = match parse::parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    match gen(&item) {
+        Ok(code) => code.parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde_derive generated invalid code: {e}"))
+        }),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!(
+        "compile_error!({:?});",
+        format!("serde_derive (vendored): {msg}")
+    )
+    .parse()
+    .unwrap()
+}
+
+/// True if the token tree is the punctuation character `c`.
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// True if the token tree is a group with the given delimiter.
+fn is_group(tt: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == delim)
+}

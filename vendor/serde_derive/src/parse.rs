@@ -1,0 +1,366 @@
+//! Hand parser for the subset of item syntax the derive supports.
+
+use crate::{is_group, is_punct};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Container-level `#[serde(...)]` attributes.
+#[derive(Default, Debug)]
+pub struct ContainerAttrs {
+    pub tag: Option<String>,
+    pub rename_all: Option<String>,
+}
+
+/// Field-level `#[serde(...)]` attributes.
+#[derive(Default, Debug)]
+pub struct FieldAttrs {
+    pub skip: bool,
+    pub default: bool,
+    pub with: Option<String>,
+    pub rename: Option<String>,
+}
+
+#[derive(Debug)]
+pub struct Field {
+    pub name: String,
+    pub attrs: FieldAttrs,
+}
+
+impl Field {
+    /// The key this field uses in serialized output.
+    pub fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug)]
+pub enum VariantShape {
+    Unit,
+    /// Tuple payload with the given arity (only arity 1 is generated).
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+pub struct Variant {
+    pub name: String,
+    pub attrs: FieldAttrs,
+    pub shape: VariantShape,
+}
+
+#[derive(Debug)]
+pub enum Body {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+pub struct Item {
+    pub name: String,
+    /// Plain type-parameter idents (no bounds supported).
+    pub generics: Vec<String>,
+    pub attrs: ContainerAttrs,
+    pub body: Body,
+}
+
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+
+    let mut attrs = ContainerAttrs::default();
+    for serde_attr in parse_attrs(&mut tokens)? {
+        apply_container_attr(&mut attrs, &serde_attr)?;
+    }
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    let generics = parse_generics(&mut tokens)?;
+
+    if matches!(tokens.peek(), Some(tt) if is_punct(tt, '?') || matches!(tt, TokenTree::Ident(id) if id.to_string() == "where"))
+    {
+        return Err("`where` clauses on derived types are not supported".into());
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(tt) if is_punct(&tt, ';') => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        attrs,
+        body,
+    })
+}
+
+/// Consumes leading attributes, returning the token streams of any
+/// `#[serde(...)]` groups.
+fn parse_attrs(tokens: &mut Tokens) -> Result<Vec<TokenStream>, String> {
+    let mut serde_attrs = Vec::new();
+    while matches!(tokens.peek(), Some(tt) if is_punct(tt, '#')) {
+        tokens.next();
+        let group = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => return Err(format!("malformed attribute: {other:?}")),
+        };
+        let mut inner = group.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    serde_attrs.push(args.stream());
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(serde_attrs)
+}
+
+fn apply_container_attr(attrs: &mut ContainerAttrs, stream: &TokenStream) -> Result<(), String> {
+    for (key, value) in parse_meta_pairs(stream.clone())? {
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("deny_unknown_fields", None) => {}
+            (other, _) => {
+                return Err(format!("unsupported container attribute `{other}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_field_attrs(streams: &[TokenStream]) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs::default();
+    for stream in streams {
+        for (key, value) in parse_meta_pairs(stream.clone())? {
+            match (key.as_str(), value) {
+                ("skip", None) | ("skip_serializing", None) | ("skip_deserializing", None) => {
+                    attrs.skip = true;
+                }
+                ("default", None) => attrs.default = true,
+                ("with", Some(v)) => attrs.with = Some(v),
+                ("rename", Some(v)) => attrs.rename = Some(v),
+                (other, _) => {
+                    return Err(format!("unsupported field attribute `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(attrs)
+}
+
+/// Parses `key`, `key = "value"` pairs separated by commas.
+fn parse_meta_pairs(stream: TokenStream) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut out = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let key = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unexpected token in serde attribute: {other:?}")),
+        };
+        let mut value = None;
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, '=')) {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let text = lit.to_string();
+                    value = Some(text.trim_matches('"').to_string());
+                }
+                other => return Err(format!("expected string literal, found {other:?}")),
+            }
+        }
+        out.push((key, value));
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+    }
+    Ok(out)
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(tt) if is_group(tt, Delimiter::Parenthesis)) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `<A, B>` into plain idents; rejects lifetimes/bounds (no
+/// derived type in the workspace uses them).
+fn parse_generics(tokens: &mut Tokens) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.peek(), Some(tt) if is_punct(tt, '<')) {
+        return Ok(params);
+    }
+    tokens.next();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => params.push(id.to_string()),
+            Some(tt) if is_punct(&tt, '>') => return Ok(params),
+            other => {
+                return Err(format!(
+                    "unsupported generics (only plain type parameters): {other:?}"
+                ))
+            }
+        }
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ',') => continue,
+            Some(tt) if is_punct(&tt, '>') => return Ok(params),
+            other => {
+                return Err(format!(
+                    "unsupported generics (bounds/defaults not supported): {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        let attr_streams = parse_attrs(&mut tokens)?;
+        let attrs = parse_field_attrs(&attr_streams)?;
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name, attrs });
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes a type up to a top-level comma. Commas inside `<...>` (and
+/// inside any delimiter group, which the tokenizer already nests) do
+/// not terminate the type.
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = tokens.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        tokens.next();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    while tokens.peek().is_some() {
+        // Leading attrs / visibility on tuple fields.
+        let _ = parse_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(variants);
+        }
+        let attr_streams = parse_attrs(&mut tokens)?;
+        let attrs = parse_field_attrs(&attr_streams)?;
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, attrs, shape });
+        if matches!(tokens.peek(), Some(tt) if is_punct(tt, ',')) {
+            tokens.next();
+        }
+    }
+}
+
+/// Applies a `rename_all` rule to a variant name.
+pub fn apply_rename_all(rule: &str, name: &str) -> String {
+    match rule {
+        "snake_case" => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "kebab-case" => apply_rename_all("snake_case", name).replace('_', "-"),
+        // Unknown rules pass the name through unchanged; the round-trip
+        // tests would catch a silently wrong mapping.
+        _ => name.to_string(),
+    }
+}

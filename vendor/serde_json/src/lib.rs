@@ -1,0 +1,167 @@
+//! Offline stand-in for `serde_json`, backed by the vendored serde's
+//! value model.
+//!
+//! Behavioural contract with the workspace (pinned by tests):
+//!
+//! * f64 round trips are **bit-exact**: writing uses Rust's shortest
+//!   round-trip `{:?}` formatting, reading uses `str::parse::<f64>`,
+//!   which is correctly rounded — together these are the equivalent of
+//!   upstream's `float_roundtrip` feature.
+//! * Non-finite floats serialize as `null` and fail to deserialize as
+//!   bare `f64` (swap-core's `serde_maybe_infinite` relies on this).
+//! * Integers print without a decimal point; floats always carry one
+//!   (or an exponent), so `60u64` → `60` and `60.0f64` → `60.0`.
+//! * Struct field order is preserved (`Value::Map` is a vec of pairs).
+
+use serde::value::{from_value, to_value, Number, Value};
+use serde::Serialize;
+
+mod read;
+mod write;
+
+/// Error for both directions; carries a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    write::compact(&v, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    write::pretty(&v, &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = read::parse(s)?;
+    from_value(v).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Re-export of the data-model value for code that wants to inspect
+/// parsed JSON generically.
+pub use serde::value::Value as JsonValue;
+
+#[allow(unused)]
+fn number_value(n: Number) -> Value {
+    Value::Num(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_and_floats_are_distinct() {
+        assert_eq!(to_string(&60u64).unwrap(), "60");
+        assert_eq!(to_string(&60.0f64).unwrap(), "60.0");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+    }
+
+    #[test]
+    fn adversarial_f64_round_trip_bitwise() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            5e-324,
+            -2.2250738585072014e-308,
+            (1u64 << 53) as f64 - 1.0,
+            0.1 + 0.2,
+            1e300,
+            -1e-300,
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "value {x:?} via {json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_serializes_null_and_refuses_to_parse() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert!(from_str::<f64>("null").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\nd\te\u{1}f\u{20ac}";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let back: String = from_str(r#""é€😀""#).unwrap();
+        assert_eq!(back, "é€😀");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v: Vec<(f64, f64)> = vec![(1.5, -2.5), (0.0, 3.25)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1.5,-2.5],[0.0,3.25]]");
+        let back: Vec<(f64, f64)> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v: Vec<u64> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn whitespace_and_literals_parse() {
+        let v: Vec<Option<bool>> = from_str(" [ true , null , false ] ").unwrap();
+        assert_eq!(v, vec![Some(true), None, Some(false)]);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<u64>("").is_err());
+    }
+}

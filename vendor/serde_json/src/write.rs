@@ -1,0 +1,118 @@
+//! JSON writers: compact and 2-space pretty, matching serde_json's
+//! output formats for the value shapes the workspace produces.
+
+use serde::value::{Number, Value};
+use std::fmt::Write;
+
+pub fn compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub fn pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Seq(_) => out.push_str("[]"),
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        Value::Map(_) => out.push_str("{}"),
+        other => compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` is shortest-round-trip and keeps `.0` on
+                // integral values — exactly serde_json's style.
+                let _ = write!(out, "{v:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
