@@ -41,6 +41,27 @@ pub struct SwapPair {
     pub process_improvement: f64,
 }
 
+/// The first candidate exchange a gate refused, recorded so audits can
+/// show *why* a decision point held (the rejected pair's payback inputs
+/// mirror [`SwapPair`]'s admitted ones).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RejectedSwap {
+    /// Active processor that would have lost its process.
+    pub from: usize,
+    /// Spare processor that would have received it.
+    pub to: usize,
+    /// Predicted performance at `from`.
+    pub old_perf: f64,
+    /// Predicted performance at `to`.
+    pub new_perf: f64,
+    /// Fractional per-process gain `(new − old)/old`.
+    pub process_improvement: f64,
+    /// Payback distance in iterations, when the evaluation got far
+    /// enough to compute it (`None` when an earlier gate fired first or
+    /// the measurement was degenerate).
+    pub payback: Option<f64>,
+}
+
 /// Why the engine stopped admitting pairs at a decision point.
 ///
 /// Pairs are considered best-first, so the first rejection ends the
@@ -65,6 +86,21 @@ pub enum StopReason {
     CapReached,
     /// Every pairable candidate was admitted.
     Exhausted,
+}
+
+impl StopReason {
+    /// Stable machine-readable key (metric label / JSON-friendly).
+    pub fn key(&self) -> &'static str {
+        match self {
+            StopReason::NoCandidates => "no_candidates",
+            StopReason::NoImprovement => "no_improvement",
+            StopReason::ProcessGateFailed => "process_gate",
+            StopReason::PaybackGateFailed => "payback_gate",
+            StopReason::AppGateFailed => "app_gate",
+            StopReason::CapReached => "cap_reached",
+            StopReason::Exhausted => "exhausted",
+        }
+    }
 }
 
 impl std::fmt::Display for StopReason {
@@ -93,6 +129,10 @@ pub struct SwapDecision {
     /// Which gate ended the round — the explanation of why no further
     /// (or no) swaps were admitted.
     pub stopped_because: StopReason,
+    /// The candidate pair the stopping gate refused, when one was under
+    /// evaluation (absent for `NoCandidates`, `CapReached`, `Exhausted`).
+    #[serde(default)]
+    pub rejected: Option<RejectedSwap>,
 }
 
 impl SwapDecision {
@@ -102,6 +142,7 @@ impl SwapDecision {
             pairs: Vec::new(),
             app_improvement: 0.0,
             stopped_because: StopReason::NoCandidates,
+            rejected: None,
         }
     }
 
@@ -212,6 +253,15 @@ impl DecisionEngine {
         // the cumulative application-improvement gate.
         let mut applied_perfs: Vec<f64> = active.iter().map(|p| p.predicted_perf).collect();
         let mut stopped_because = StopReason::Exhausted;
+        let mut rejected: Option<RejectedSwap> = None;
+        let refusal = |slow: &ProcessorSnapshot, fast: &ProcessorSnapshot, payback| RejectedSwap {
+            from: slow.id,
+            to: fast.id,
+            old_perf: slow.predicted_perf,
+            new_perf: fast.predicted_perf,
+            process_improvement: improvement(slow.predicted_perf, fast.predicted_perf),
+            payback,
+        };
 
         for (k, (slow, fast)) in active.iter().zip(spares.iter()).enumerate() {
             if pairs.len() >= cap {
@@ -223,6 +273,7 @@ impl DecisionEngine {
             if old <= 0.0 || new <= 0.0 {
                 // Degenerate measurement; refuse to extrapolate.
                 stopped_because = StopReason::NoImprovement;
+                rejected = Some(refusal(slow, fast, None));
                 break;
             }
 
@@ -234,6 +285,7 @@ impl DecisionEngine {
                 } else {
                     StopReason::ProcessGateFailed
                 };
+                rejected = Some(refusal(slow, fast, None));
                 break;
             }
 
@@ -241,6 +293,7 @@ impl DecisionEngine {
             let payback = payback_distance(swap_time, old_iter_time, old, new);
             if !(0.0..=self.policy.payback_threshold).contains(&payback) {
                 stopped_because = StopReason::PaybackGateFailed;
+                rejected = Some(refusal(slow, fast, payback.is_finite().then_some(payback)));
                 break;
             }
 
@@ -259,6 +312,7 @@ impl DecisionEngine {
             if self.policy.min_app_improvement > 0.0 && app_gain <= self.policy.min_app_improvement
             {
                 stopped_because = StopReason::AppGateFailed;
+                rejected = Some(refusal(slow, fast, payback.is_finite().then_some(payback)));
                 break;
             }
 
@@ -276,6 +330,7 @@ impl DecisionEngine {
         if pairs.is_empty() {
             return SwapDecision {
                 stopped_because,
+                rejected,
                 ..SwapDecision::none()
             };
         }
@@ -284,6 +339,7 @@ impl DecisionEngine {
             pairs,
             app_improvement: 1.0 - original_bottleneck / final_bottleneck,
             stopped_because,
+            rejected,
         }
     }
 }
@@ -502,6 +558,52 @@ mod tests {
         let d = eng.decide(&[snap(0, true, 1.0), snap(1, false, 10.0)], 60.0, 1e6);
         assert_eq!(d.stopped_because, StopReason::Exhausted);
         assert!(d.will_swap());
+    }
+
+    #[test]
+    fn refused_candidate_is_recorded_with_payback_inputs() {
+        // Payback gate: the candidate reached gate 2, so the rejected
+        // record carries the computed payback distance.
+        let eng = DecisionEngine::new(PolicyParams::safe(), SwapCost::new(0.0, 1e7));
+        let d = eng.decide(&[snap(0, true, 10.0), snap(1, false, 20.0)], 10.0, 1e9);
+        let r = d.rejected.expect("payback-gated candidate recorded");
+        assert_eq!((r.from, r.to), (0, 1));
+        assert_eq!((r.old_perf, r.new_perf), (10.0, 20.0));
+        // payback = (100/10)/(1 − 10/20) = 20 iterations.
+        assert!((r.payback.unwrap() - 20.0).abs() < 1e-9);
+
+        // Stiction gate fires before the payback is computed.
+        let eng = DecisionEngine::new(PolicyParams::safe(), cheap_cost());
+        let d = eng.decide(&[snap(0, true, 10.0), snap(1, false, 11.0)], 60.0, 1e6);
+        let r = d.rejected.expect("stiction-gated candidate recorded");
+        assert!(r.payback.is_none());
+        assert!((r.process_improvement - 0.1).abs() < 1e-12);
+
+        // Nothing was refused when every pairing is admitted.
+        let eng = DecisionEngine::new(PolicyParams::greedy(), cheap_cost());
+        let d = eng.decide(&[snap(0, true, 1.0), snap(1, false, 10.0)], 60.0, 1e6);
+        assert!(d.rejected.is_none());
+
+        // ...or when there were no candidates at all.
+        assert!(eng
+            .decide(&[snap(0, true, 1.0)], 60.0, 1e6)
+            .rejected
+            .is_none());
+    }
+
+    #[test]
+    fn stop_reason_keys_are_distinct() {
+        let all = [
+            StopReason::NoCandidates,
+            StopReason::NoImprovement,
+            StopReason::ProcessGateFailed,
+            StopReason::PaybackGateFailed,
+            StopReason::AppGateFailed,
+            StopReason::CapReached,
+            StopReason::Exhausted,
+        ];
+        let keys: std::collections::HashSet<_> = all.iter().map(|r| r.key()).collect();
+        assert_eq!(keys.len(), all.len());
     }
 
     #[test]

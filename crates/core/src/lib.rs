@@ -38,7 +38,9 @@ pub mod metrics;
 pub mod payback;
 pub mod policy;
 
-pub use decision::{DecisionEngine, ProcessorSnapshot, StopReason, SwapDecision, SwapPair};
+pub use decision::{
+    DecisionEngine, ProcessorSnapshot, RejectedSwap, StopReason, SwapDecision, SwapPair,
+};
 pub use history::{HistoryWindow, PerfHistory, Predictor};
 pub use payback::{payback_distance, SwapCost};
 pub use policy::{NamedPolicy, PolicyParams};

@@ -3,6 +3,7 @@
 //! ```text
 //! swapsim all [--quick] [--jobs N] [--out DIR]     regenerate every figure
 //! swapsim fig4 [--quick] [--jobs N] [--out DIR]    regenerate one figure
+//! swapsim trace [scenario] [--quick] [--out DIR]   traced run: JSONL + Chrome + audit
 //! swapsim list                                     list figure ids and contents
 //! ```
 //!
@@ -47,8 +48,24 @@ fn main() {
             })
         })
         .unwrap_or(0);
+    let trace_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let mut scale = if quick { Scale::quick() } else { Scale::full() };
     scale.jobs = jobs;
+
+    // Refuse --trace where it would be silently ignored: figure sweeps
+    // aggregate thousands of cells and are traced through their scenario
+    // equivalents instead (swapsim trace / run --trace / gantt --trace).
+    if trace_path.is_some() && !matches!(args[0].as_str(), "run" | "gantt") {
+        eprintln!(
+            "--trace is supported by 'swapsim run' and 'swapsim gantt'; \
+             use 'swapsim trace [scenario.json]' for the full export set"
+        );
+        std::process::exit(2);
+    }
 
     match args[0].as_str() {
         "list" => {
@@ -72,6 +89,7 @@ fn main() {
             println!("  tune      grid-search the policy space at an operating point");
             println!("  scenario  print a scenario JSON template");
             println!("  run       execute a scenario file (swapsim run exp.json)");
+            println!("  trace     run a scenario with full tracing (JSONL, Chrome trace, audit)");
         }
         "all" => {
             for id in ALL_FIGURES {
@@ -146,7 +164,14 @@ fn main() {
                 scenario.jobs = jobs;
             }
             let t0 = Instant::now();
-            let results = scenario.run();
+            let results = match &trace_path {
+                Some(path) => {
+                    let (results, bundle) = scenario.run_traced();
+                    write_trace_file(&bundle, path);
+                    results
+                }
+                None => scenario.run(),
+            };
             println!(
                 "{:<16} {:>9} {:>9} {:>9} {:>9} {:>8}",
                 "strategy", "mean [s]", "p10", "median", "p90", "adapts"
@@ -158,12 +183,102 @@ fn main() {
                     r.strategy, e.mean, e.p10, e.median, e.p90, r.mean_adaptations
                 );
             }
-            println!(
-                "\n{} strategies x {} replications in {:.1}s",
+            eprintln!(
+                "{} strategies x {} replications in {:.1}s",
                 results.len(),
                 scenario.replications,
                 t0.elapsed().as_secs_f64()
             );
+        }
+        "trace" => {
+            // swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]:
+            // run a scenario (the template when no file is given) with
+            // tracing on and export every format.
+            let mut scenario = match args.get(1).filter(|a| !a.starts_with("--")) {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    serde_json::from_str(&text).unwrap_or_else(|e| {
+                        eprintln!("{path} is not a valid scenario: {e}");
+                        std::process::exit(2);
+                    })
+                }
+                None => {
+                    let mut s = experiments::scenario::Scenario::template();
+                    if quick {
+                        s.replications = 2;
+                        s.app.iterations = s.app.iterations.min(scale.iterations);
+                    }
+                    s
+                }
+            };
+            if args.iter().any(|a| a == "--jobs") {
+                scenario.jobs = jobs;
+            }
+            let t0 = Instant::now();
+            let (results, bundle) = scenario.run_traced();
+            std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+            // JSONL event log — self-validated by a lossless round-trip.
+            let jsonl = obs::jsonl::to_jsonl(&bundle);
+            match obs::jsonl::from_jsonl(&jsonl) {
+                Ok(back) if back == bundle => {}
+                Ok(_) => {
+                    eprintln!("JSONL round-trip lost events");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("JSONL failed self-validation: {e}");
+                    std::process::exit(1);
+                }
+            }
+            let jsonl_path = out_dir.join("trace.jsonl");
+            std::fs::write(&jsonl_path, &jsonl).expect("cannot write trace JSONL");
+
+            // Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+            let chrome = obs::chrome::to_chrome_trace(&bundle);
+            let chrome_events = obs::chrome::validate_chrome_trace(&chrome).unwrap_or_else(|e| {
+                eprintln!("Chrome trace failed self-validation: {e}");
+                std::process::exit(1);
+            });
+            let chrome_path = out_dir.join("trace.chrome.json");
+            std::fs::write(&chrome_path, &chrome).expect("cannot write Chrome trace");
+
+            // Derived metrics and the decision audit.
+            let metrics = obs::Metrics::from_bundle(&bundle);
+            let metrics_path = out_dir.join("trace.metrics.json");
+            std::fs::write(
+                &metrics_path,
+                serde_json::to_string_pretty(&metrics).expect("metrics serialize"),
+            )
+            .expect("cannot write metrics JSON");
+            let audit = obs::audit::render(&bundle);
+            let audit_path = out_dir.join("trace.audit.txt");
+            std::fs::write(&audit_path, &audit).expect("cannot write audit");
+
+            // Data to stdout: the decision audit and the metrics table.
+            print!("{audit}");
+            println!("{}", metrics.render());
+            eprintln!(
+                "traced {} strategies x {} replications: {} events in {:.1}s",
+                results.len(),
+                scenario.replications,
+                bundle.event_count(),
+                t0.elapsed().as_secs_f64()
+            );
+            eprintln!(
+                "wrote {} ({} events)",
+                jsonl_path.display(),
+                bundle.event_count()
+            );
+            eprintln!(
+                "wrote {} ({chrome_events} Chrome events)",
+                chrome_path.display()
+            );
+            eprintln!("wrote {}", metrics_path.display());
+            eprintln!("wrote {}", audit_path.display());
         }
         "tune" => {
             // swapsim tune [duty] [state_bytes]: grid-search the policy
@@ -211,7 +326,7 @@ fn main() {
             let strategy_name = args.get(1).map(String::as_str).unwrap_or("swap");
             let duty: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
             let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
-            run_gantt(strategy_name, duty, seed, &scale);
+            run_gantt(strategy_name, duty, seed, &scale, trace_path.as_deref());
         }
         "report" => {
             let t0 = Instant::now();
@@ -221,7 +336,7 @@ fn main() {
             let path = out_dir.join("report.md");
             std::fs::write(&path, &md).expect("cannot write report");
             println!("{md}");
-            println!(
+            eprintln!(
                 "wrote {} ({:.1}s)",
                 path.display(),
                 t0.elapsed().as_secs_f64()
@@ -264,7 +379,7 @@ fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
     .expect("cannot write JSON");
 
     println!("{}", fig.to_ascii(72, 20));
-    println!(
+    eprintln!(
         "wrote {} and {} ({} series, {:.1}s)",
         csv_path.display(),
         json_path.display(),
@@ -280,13 +395,14 @@ fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
             serde_json::to_string_pretty(&t).expect("timing serializes"),
         )
         .expect("cannot write timing JSON");
-        println!(
-            "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x) -> {}",
+        eprintln!(
+            "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x, {:.0}% util) -> {}",
             t.points.len(),
             t.compute_secs,
             t.jobs_effective,
             t.elapsed_secs,
             t.speedup,
+            t.utilization * 100.0,
             timing_path.display()
         );
     }
@@ -366,7 +482,7 @@ fn run_compare(duty: f64, state: f64, n_active: usize, alloc: usize, scale: &Sca
     }
 }
 
-fn run_gantt(strategy_name: &str, duty: f64, seed: u64, scale: &Scale) {
+fn run_gantt(strategy_name: &str, duty: f64, seed: u64, scale: &Scale, trace_path: Option<&Path>) {
     use experiments::figures::{onoff_duty, platform};
     use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, RunContext, Strategy, Swap};
 
@@ -386,12 +502,42 @@ fn run_gantt(strategy_name: &str, duty: f64, seed: u64, scale: &Scale) {
     let mut app = simulator::AppSpec::hpdc03(4, 1.0e6);
     app.iterations = scale.iterations;
     let p = platform(onoff_duty(duty.clamp(0.0, 0.99))).realize(seed);
-    let ctx = RunContext::new(&p, &app, alloc);
+    let collector = trace_path.map(|_| obs::Collector::new());
+    let mut ctx = RunContext::new(&p, &app, alloc);
+    if let Some(c) = &collector {
+        ctx = ctx.with_trace(c);
+    }
     let run = strategy.run(&ctx);
     print!("{}", simulator::gantt::render_ascii(&run, 72));
+    if let (Some(path), Some(c)) = (trace_path, collector) {
+        let mut bundle = obs::TraceBundle::new();
+        bundle.push(strategy_name, seed, c.into_trace());
+        write_trace_file(&bundle, path);
+    }
+}
+
+/// Writes a trace bundle to `path`: Chrome trace-event JSON when the
+/// name ends in `.chrome.json`, the JSONL event log otherwise.
+fn write_trace_file(bundle: &obs::TraceBundle, path: &Path) {
+    let text = if path.to_string_lossy().ends_with(".chrome.json") {
+        obs::chrome::to_chrome_trace(bundle)
+    } else {
+        obs::jsonl::to_jsonl(bundle)
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("cannot create trace directory");
+        }
+    }
+    std::fs::write(path, text).expect("cannot write trace");
+    eprintln!(
+        "trace: wrote {} ({} events)",
+        path.display(),
+        bundle.event_count()
+    );
 }
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR]\n       swapsim gantt [strategy] [duty] [seed]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n\n       --jobs N  worker threads for sweeps/replications (0 = auto, 1 = serial);\n                 figure CSV/JSON output is bit-identical at every setting");
+    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim run <scenario.json> [--jobs N] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON output is bit-identical at every setting\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json");
     std::process::exit(1);
 }

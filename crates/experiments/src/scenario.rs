@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use simulator::platform::PlatformSpec;
-use simulator::runner::{run_replicated_jobs, ReplicatedResult};
+use simulator::runner::{run_replicated_jobs, run_replicated_traced, ReplicatedResult};
 use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Oracle, Strategy, Swap};
 use simulator::AppSpec;
 use swap_core::PolicyParams;
@@ -49,7 +49,20 @@ impl StrategyRef {
             StrategyRef::Nothing => (Box::new(Nothing), n_active),
             StrategyRef::Dlb => (Box::new(Dlb), n_active),
             StrategyRef::Oracle => (Box::new(Oracle), n_active),
-            StrategyRef::Swap { policy } => (Box::new(Swap::new(*policy)), allocated),
+            StrategyRef::Swap { policy } => {
+                // Recognize the named presets so results and traces read
+                // "swap(greedy)" rather than "swap(custom)".
+                let swap = if *policy == PolicyParams::greedy() {
+                    Swap::greedy()
+                } else if *policy == PolicyParams::safe() {
+                    Swap::safe()
+                } else if *policy == PolicyParams::friendly() {
+                    Swap::friendly()
+                } else {
+                    Swap::new(*policy)
+                };
+                (Box::new(swap), allocated)
+            }
             StrategyRef::Cr { policy } => (Box::new(Cr::new(*policy)), allocated),
             StrategyRef::DlbSwap { policy } => (Box::new(DlbSwap::new(*policy)), allocated),
         }
@@ -145,6 +158,35 @@ impl Scenario {
             })
             .collect()
     }
+
+    /// Runs every strategy with tracing on, returning the results plus
+    /// one [`obs::RunTrace`] per `(strategy, seed)`, labelled by strategy
+    /// name, in deterministic (strategy-major, seed-minor) order.
+    pub fn run_traced(&self) -> (Vec<ReplicatedResult>, obs::TraceBundle) {
+        self.validate();
+        let seeds: Vec<u64> = (0..self.replications as u64).collect();
+        let mut bundle = obs::TraceBundle::default();
+        let results = self
+            .strategies
+            .iter()
+            .map(|sref| {
+                let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
+                let (result, traces) = run_replicated_traced(
+                    &self.platform,
+                    &self.app,
+                    strategy.as_ref(),
+                    alloc,
+                    &seeds,
+                    self.jobs,
+                );
+                for (seed, trace) in seeds.iter().zip(traces) {
+                    bundle.push(&result.strategy, *seed, trace);
+                }
+                result
+            })
+            .collect();
+        (results, bundle)
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +216,7 @@ mod tests {
         let results = s.run();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].strategy, "nothing");
-        assert_eq!(results[1].strategy, "swap(custom)");
+        assert_eq!(results[1].strategy, "swap(greedy)");
         assert_eq!(results[2].strategy, "oracle");
         // Oracle lower-bounds everything.
         assert!(results[2].execution_time.mean <= results[1].execution_time.mean + 1e-6);
@@ -217,6 +259,47 @@ mod tests {
         let results = s.run();
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.execution_time.mean > 0.0));
+    }
+
+    #[test]
+    fn run_traced_matches_plain_run_and_labels_every_seed() {
+        let mut s = Scenario::template();
+        s.replications = 2;
+        s.app.iterations = 6;
+        s.strategies = vec![
+            StrategyRef::Nothing,
+            StrategyRef::Swap {
+                policy: PolicyParams::greedy(),
+            },
+        ];
+        let plain = s.run();
+        let (traced, bundle) = s.run_traced();
+        assert_eq!(traced.len(), plain.len());
+        for (t, p) in traced.iter().zip(&plain) {
+            assert_eq!(t.strategy, p.strategy);
+            assert_eq!(
+                t.execution_time.mean, p.execution_time.mean,
+                "tracing must not perturb results ({})",
+                t.strategy
+            );
+        }
+        // One run trace per (strategy, seed), strategy-major order.
+        assert_eq!(bundle.runs.len(), 4);
+        let keys: Vec<(String, u64)> = bundle
+            .runs
+            .iter()
+            .map(|r| (r.label.clone(), r.seed))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("nothing".into(), 0),
+                ("nothing".into(), 1),
+                ("swap(greedy)".into(), 0),
+                ("swap(greedy)".into(), 1),
+            ]
+        );
+        assert!(bundle.event_count() > 0);
     }
 
     #[test]

@@ -36,12 +36,13 @@ pub fn grid_sweep<S: Sync>(
         .collect();
     timing::expect_items(items.len());
     let names: Vec<String> = series_defs.iter().map(&name_of).collect();
-    let ys = simkit::par::par_map(&items, scale.jobs, |idx, &(si, xi)| {
+    let (ys, stats) = simkit::par::par_map_stats(&items, scale.jobs, |idx, &(si, xi)| {
         let t0 = Instant::now();
         let y = eval(&series_defs[si], xs[xi]);
         timing::record(idx, &names[si], xs[xi], t0.elapsed().as_secs_f64());
         y
     });
+    timing::record_worker_busy(&stats.worker_busy_secs);
     names
         .into_iter()
         .enumerate()
@@ -71,12 +72,14 @@ pub fn item_sweep<T: Sync, R: Send>(
 ) -> Vec<R> {
     timing::expect_items(items.len());
     let xs: Vec<f64> = items.iter().map(&x_of).collect();
-    simkit::par::par_map(items, scale.jobs, |idx, item| {
+    let (ys, stats) = simkit::par::par_map_stats(items, scale.jobs, |idx, item| {
         let t0 = Instant::now();
         let y = eval(item);
         timing::record(idx, label, xs[idx], t0.elapsed().as_secs_f64());
         y
-    })
+    });
+    timing::record_worker_busy(&stats.worker_busy_secs);
+    ys
 }
 
 #[cfg(test)]

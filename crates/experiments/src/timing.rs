@@ -52,6 +52,15 @@ pub struct TimingSummary {
     /// ratio then reflects concurrency achieved rather than end-to-end
     /// wall-clock gain.
     pub speedup: f64,
+    /// Seconds each sweep worker spent inside work items, indexed by
+    /// worker slot and accumulated across all sweeps of the figure.
+    pub worker_busy_secs: Vec<f64>,
+    /// Total busy time across all workers (`worker_busy_secs` summed).
+    pub busy_secs: f64,
+    /// `busy_secs / (jobs_effective × elapsed_secs)` — the fraction of
+    /// the worker pool's wall-clock capacity spent computing. Low values
+    /// mean workers idled (too few items, or a straggler point).
+    pub utilization: f64,
     /// Per-point costs, in deterministic (series-major) sweep order.
     pub points: Vec<PointTiming>,
 }
@@ -63,6 +72,8 @@ struct Active {
     /// `(item_index, timing)` so [`finish`] can restore deterministic
     /// sweep order after out-of-order parallel completion.
     points: Vec<(usize, PointTiming)>,
+    /// Per-worker busy seconds, accumulated element-wise across sweeps.
+    worker_busy_secs: Vec<f64>,
     done: usize,
     total: usize,
 }
@@ -78,6 +89,7 @@ pub fn begin(id: &str, jobs_requested: usize, seeds: usize) {
         jobs_requested,
         seeds,
         points: Vec::new(),
+        worker_busy_secs: Vec::new(),
         done: 0,
         total: 0,
     });
@@ -112,6 +124,22 @@ pub fn record(item_index: usize, series: &str, x: f64, wall_secs: f64) {
     eprintln!("[{id}] {done:>3}/{total} {series:<14} x={x:<10.4} {wall_secs:>7.2}s");
 }
 
+/// Accumulates one sweep's per-worker busy time (from
+/// [`simkit::par::ParStats`]) into the active collection, element-wise
+/// by worker slot. No-op when no collection is active. Sweeps may run
+/// back-to-back under one collection; busy time adds up per slot, and
+/// the slot vector grows to the widest sweep seen.
+pub fn record_worker_busy(busy_secs: &[f64]) {
+    let mut guard = ACTIVE.lock().expect("timing collector poisoned");
+    let Some(a) = guard.as_mut() else { return };
+    if a.worker_busy_secs.len() < busy_secs.len() {
+        a.worker_busy_secs.resize(busy_secs.len(), 0.0);
+    }
+    for (slot, &b) in busy_secs.iter().enumerate() {
+        a.worker_busy_secs[slot] += b;
+    }
+}
+
 /// Ends the active collection and returns its summary (`None` if
 /// [`begin`] was never called). `elapsed_secs` is the caller-observed
 /// end-to-end wall-clock for the figure.
@@ -120,10 +148,13 @@ pub fn finish(elapsed_secs: f64) -> Option<TimingSummary> {
     a.points.sort_by_key(|&(i, _)| i);
     let points: Vec<PointTiming> = a.points.into_iter().map(|(_, p)| p).collect();
     let compute_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
+    let jobs_effective = simkit::par::effective_jobs(a.jobs_requested);
+    let busy_secs: f64 = a.worker_busy_secs.iter().sum();
+    let capacity = jobs_effective as f64 * elapsed_secs;
     Some(TimingSummary {
         id: a.id,
         jobs_requested: a.jobs_requested,
-        jobs_effective: simkit::par::effective_jobs(a.jobs_requested),
+        jobs_effective,
         seeds: a.seeds,
         compute_secs,
         elapsed_secs,
@@ -131,6 +162,13 @@ pub fn finish(elapsed_secs: f64) -> Option<TimingSummary> {
             compute_secs / elapsed_secs
         } else {
             1.0
+        },
+        worker_busy_secs: a.worker_busy_secs,
+        busy_secs,
+        utilization: if capacity > 0.0 {
+            busy_secs / capacity
+        } else {
+            0.0
         },
         points,
     })
@@ -151,6 +189,10 @@ mod tests {
         // Record out of order, as parallel workers would.
         record(1, "swap", 0.5, 2.0);
         record(0, "nothing", 0.5, 1.0);
+        // Two back-to-back sweeps of different widths: slots accumulate
+        // element-wise and the vector grows to the widest sweep.
+        record_worker_busy(&[1.0, 2.0]);
+        record_worker_busy(&[0.5, 0.0, 1.5]);
         let s = finish(1.5).expect("collection was active");
         assert_eq!(s.id, "figX");
         assert_eq!(s.jobs_requested, 4);
@@ -162,9 +204,14 @@ mod tests {
         assert_eq!(s.points[1].series, "swap");
         assert!((s.compute_secs - 3.0).abs() < 1e-12);
         assert!((s.speedup - 2.0).abs() < 1e-12);
+        assert_eq!(s.worker_busy_secs, vec![1.5, 2.0, 1.5]);
+        assert!((s.busy_secs - 5.0).abs() < 1e-12);
+        // utilization = busy / (jobs_effective × elapsed) = 5 / (4 × 1.5)
+        assert!((s.utilization - 5.0 / 6.0).abs() < 1e-12);
 
         // The collection is consumed; recording is a no-op again.
         record(0, "late", 0.0, 1.0);
+        record_worker_busy(&[9.0]);
         assert!(finish(1.0).is_none());
     }
 }

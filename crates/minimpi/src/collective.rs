@@ -20,7 +20,9 @@ impl SlotComm {
 
     /// Synchronizes all slots (no payload).
     pub fn barrier(&mut self) {
+        let t0 = self.coll_begin();
         let _: Vec<u8> = self.allgather(&0u8);
+        self.coll_end("barrier", t0);
     }
 
     /// Broadcasts `value` from `root` to every slot; returns the value on
@@ -30,8 +32,9 @@ impl SlotComm {
         root: usize,
         value: &T,
     ) -> T {
+        let t0 = self.coll_begin();
         let tag = self.next_coll_tag();
-        if self.rank() == root {
+        let out = if self.rank() == root {
             for s in 0..self.size() {
                 if s != root {
                     self.send_internal(s, tag, value);
@@ -41,7 +44,9 @@ impl SlotComm {
         } else {
             let msg = self.recv_raw(root, tag);
             msg.decode()
-        }
+        };
+        self.coll_end("broadcast", t0);
+        out
     }
 
     /// Gathers one value per slot at `root` (index = slot id); other
@@ -51,8 +56,9 @@ impl SlotComm {
         root: usize,
         value: &T,
     ) -> Option<Vec<T>> {
+        let t0 = self.coll_begin();
         let tag = self.next_coll_tag();
-        if self.rank() == root {
+        let out = if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(value.clone());
             for s in (0..self.size()).filter(|&s| s != root) {
@@ -63,19 +69,24 @@ impl SlotComm {
         } else {
             self.send_internal(root, tag, value);
             None
-        }
+        };
+        self.coll_end("gather", t0);
+        out
     }
 
     /// Gathers one value per slot on *every* slot.
     pub fn allgather<T: Serialize + DeserializeOwned + Clone>(&mut self, value: &T) -> Vec<T> {
+        let t0 = self.coll_begin();
         let gathered = self.gather(0, value);
-        match gathered {
+        let out = match gathered {
             Some(all) => self.broadcast(0, &all),
             None => {
                 let all: Vec<T> = Vec::new();
                 self.broadcast(0, &all)
             }
-        }
+        };
+        self.coll_end("allgather", t0);
+        out
     }
 
     /// Reduces with `op` at `root` (left fold in slot order); other slots
@@ -85,11 +96,14 @@ impl SlotComm {
         T: Serialize + DeserializeOwned + Clone,
         F: Fn(T, T) -> T,
     {
-        self.gather(root, value).map(|all| {
+        let t0 = self.coll_begin();
+        let out = self.gather(root, value).map(|all| {
             let mut it = all.into_iter();
             let first = it.next().expect("communicator is non-empty");
             it.fold(first, op)
-        })
+        });
+        self.coll_end("reduce", t0);
+        out
     }
 
     /// Reduces with `op` and distributes the result to every slot.
@@ -98,15 +112,18 @@ impl SlotComm {
         T: Serialize + DeserializeOwned + Clone,
         F: Fn(T, T) -> T,
     {
+        let t0 = self.coll_begin();
         let reduced = self.reduce(0, value, op);
-        match reduced {
+        let out = match reduced {
             Some(r) => self.broadcast(0, &r),
             None => {
                 // Non-root: the broadcast ignores the local placeholder.
                 let placeholder = value.clone();
                 self.broadcast(0, &placeholder)
             }
-        }
+        };
+        self.coll_end("allreduce", t0);
+        out
     }
 
     /// Scatters `parts[i]` from `root` to slot `i`; returns this slot's
@@ -119,8 +136,9 @@ impl SlotComm {
         root: usize,
         parts: Option<&[T]>,
     ) -> T {
+        let t0 = self.coll_begin();
         let tag = self.next_coll_tag();
-        if self.rank() == root {
+        let out = if self.rank() == root {
             let parts = parts.expect("root must supply the parts");
             assert_eq!(parts.len(), self.size(), "one part per slot");
             for (s, part) in parts.iter().enumerate() {
@@ -132,7 +150,9 @@ impl SlotComm {
         } else {
             let msg = self.recv_raw(root, tag);
             msg.decode()
-        }
+        };
+        self.coll_end("scatter", t0);
+        out
     }
 }
 

@@ -10,8 +10,40 @@
 
 use crate::msg::{Msg, Tag};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::TraceSink as _;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared clock + sink for one traced runtime: every endpoint stamps its
+/// message events in *virtual* time (wall × compression from a common
+/// origin), the same time base the manager's policy arithmetic uses.
+pub struct CommTracer {
+    sink: obs::SharedSink,
+    origin: Instant,
+    compression: f64,
+}
+
+impl CommTracer {
+    /// Builds a tracer over `sink`, with virtual time measured from
+    /// `origin` and scaled by `compression`.
+    pub fn new(sink: obs::SharedSink, origin: Instant, compression: f64) -> Self {
+        CommTracer {
+            sink,
+            origin,
+            compression,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn vnow(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * self.compression
+    }
+
+    pub(crate) fn emit(&self, event: obs::TraceEvent) {
+        self.sink.emit(event);
+    }
+}
 
 /// The send side of every slot mailbox; shared by all workers.
 #[derive(Clone)]
@@ -68,6 +100,12 @@ pub struct SlotComm {
     /// Collective sequence number — identical across slots because every
     /// slot executes the same collective call sequence.
     pub(crate) coll_seq: u64,
+    /// Collective nesting depth: the layered collectives (barrier →
+    /// allgather → gather+broadcast) each re-enter the collective entry
+    /// points, and only the outermost call is traced as a span.
+    coll_depth: u32,
+    /// Optional tracer; moves with the endpoint during a swap.
+    tracer: Option<Arc<CommTracer>>,
 }
 
 /// The transferable pieces of a [`SlotComm`] (what a swap moves besides
@@ -81,6 +119,8 @@ pub struct CommParts {
     pub pending: VecDeque<Msg>,
     /// Collective sequence counter.
     pub coll_seq: u64,
+    /// Tracer handle, so instrumentation follows the process.
+    pub tracer: Option<Arc<CommTracer>>,
 }
 
 impl SlotComm {
@@ -94,7 +134,15 @@ impl SlotComm {
             mailbox,
             pending: VecDeque::new(),
             coll_seq: 0,
+            coll_depth: 0,
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; subsequent application sends/recvs and
+    /// collectives emit [`obs::TraceEvent`]s through it.
+    pub fn set_tracer(&mut self, tracer: Arc<CommTracer>) {
+        self.tracer = Some(tracer);
     }
 
     /// This endpoint's logical rank in the active communicator.
@@ -120,7 +168,21 @@ impl SlotComm {
     }
 
     pub(crate) fn send_internal<T: serde::Serialize>(&self, to: usize, tag: Tag, value: &T) {
-        self.router.deliver(to, Msg::encode(self.slot, tag, value));
+        let msg = Msg::encode(self.slot, tag, value);
+        // Collective-internal traffic is not traced message-by-message;
+        // the outermost collective call is traced as one span instead.
+        if tag < crate::msg::RESERVED_TAG_BASE {
+            if let Some(tr) = &self.tracer {
+                tr.emit(obs::TraceEvent::MsgSend {
+                    t: tr.vnow(),
+                    from: self.slot,
+                    to,
+                    tag,
+                    bytes: msg.bytes.len(),
+                });
+            }
+        }
+        self.router.deliver(to, msg);
     }
 
     /// Receives a message from slot `from` with tag `tag`, blocking until
@@ -133,6 +195,24 @@ impl SlotComm {
     }
 
     pub(crate) fn recv_raw(&mut self, from: usize, tag: Tag) -> Msg {
+        let t0 = self.tracer.as_ref().map(|tr| tr.vnow());
+        let msg = self.recv_raw_inner(from, tag);
+        if tag < crate::msg::RESERVED_TAG_BASE {
+            if let Some(tr) = &self.tracer {
+                tr.emit(obs::TraceEvent::MsgRecv {
+                    t0: t0.expect("t0 stamped when tracer present"),
+                    t1: tr.vnow(),
+                    to: self.slot,
+                    from,
+                    tag,
+                    bytes: msg.bytes.len(),
+                });
+            }
+        }
+        msg
+    }
+
+    fn recv_raw_inner(&mut self, from: usize, tag: Tag) -> Msg {
         if let Some(pos) = self
             .pending
             .iter()
@@ -167,6 +247,31 @@ impl SlotComm {
         false
     }
 
+    /// Marks entry into a collective; returns the span's start time when
+    /// this is the *outermost* collective of a traced endpoint (the
+    /// layered implementations — e.g. barrier over allgather — nest).
+    pub(crate) fn coll_begin(&mut self) -> Option<f64> {
+        self.coll_depth += 1;
+        if self.coll_depth == 1 {
+            self.tracer.as_ref().map(|tr| tr.vnow())
+        } else {
+            None
+        }
+    }
+
+    /// Marks collective exit; emits a span when `coll_begin` opened one.
+    pub(crate) fn coll_end(&mut self, op: &str, t0: Option<f64>) {
+        self.coll_depth -= 1;
+        if let (Some(t0), Some(tr)) = (t0, &self.tracer) {
+            tr.emit(obs::TraceEvent::Collective {
+                t0,
+                t1: tr.vnow(),
+                slot: self.slot,
+                op: op.to_owned(),
+            });
+        }
+    }
+
     /// Dismantles the endpoint for transfer to another worker.
     pub fn into_parts(self) -> CommParts {
         CommParts {
@@ -174,6 +279,7 @@ impl SlotComm {
             mailbox: self.mailbox,
             pending: self.pending,
             coll_seq: self.coll_seq,
+            tracer: self.tracer,
         }
     }
 
@@ -185,6 +291,8 @@ impl SlotComm {
             mailbox: parts.mailbox,
             pending: parts.pending,
             coll_seq: parts.coll_seq,
+            coll_depth: 0,
+            tracer: parts.tracer,
         }
     }
 }

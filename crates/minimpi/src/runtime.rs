@@ -21,7 +21,7 @@
 //! can be exercised in milliseconds of wall clock.
 
 use crate::app::IterativeApp;
-use crate::comm::{CommParts, Router, SlotComm};
+use crate::comm::{CommParts, CommTracer, Router, SlotComm};
 use crate::load::LoadInjector;
 use crate::report::{RunReport, SwapEvent};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -77,6 +77,12 @@ pub struct RuntimeConfig {
     /// arithmetic — model a production-size application state while the
     /// demo app carries only kilobytes.
     pub state_size_override: Option<f64>,
+    /// Optional trace sink. The manager emits iteration boundaries, swap
+    /// decisions (with their payback inputs), and swap executions; slot
+    /// endpoints emit application messages and collective spans. All
+    /// timestamps are in virtual time. Spare probes are *not* traced:
+    /// probe replies arrive in nondeterministic order.
+    pub trace: Option<obs::SharedSink>,
 }
 
 impl RuntimeConfig {
@@ -93,6 +99,7 @@ impl RuntimeConfig {
             evictions: Vec::new(),
             charge_swap_cost: false,
             state_size_override: None,
+            trace: None,
         }
     }
 
@@ -208,6 +215,10 @@ pub fn run_iterative<A: IterativeApp>(config: RuntimeConfig, app: A) -> RunRepor
     config.validate();
     let app = Arc::new(app);
     let started = Instant::now();
+    let tracer: Option<Arc<CommTracer>> = config
+        .trace
+        .clone()
+        .map(|sink| Arc::new(CommTracer::new(sink, started, config.compression)));
 
     let (router, slot_rxs) = Router::new(config.n_active);
     let (report_tx, report_rx) = unbounded::<Report>();
@@ -237,6 +248,7 @@ pub fn run_iterative<A: IterativeApp>(config: RuntimeConfig, app: A) -> RunRepor
         let report_tx = report_tx.clone();
         let result_tx = result_tx.clone();
         let max_iterations = config.max_iterations;
+        let tracer = tracer.clone();
         handles.push(std::thread::spawn(move || {
             worker_loop(
                 worker,
@@ -248,6 +260,7 @@ pub fn run_iterative<A: IterativeApp>(config: RuntimeConfig, app: A) -> RunRepor
                 injector,
                 initial,
                 max_iterations,
+                tracer,
             );
         }));
     }
@@ -255,7 +268,7 @@ pub fn run_iterative<A: IterativeApp>(config: RuntimeConfig, app: A) -> RunRepor
     drop(result_tx);
 
     let (iterations_run, swap_events, final_placement, rounds) =
-        manager_loop(&config, &report_rx, &controls, started);
+        manager_loop(&config, &report_rx, &controls, started, tracer.as_deref());
 
     let mut finals: Vec<Option<A::State>> = (0..config.n_active).map(|_| None).collect();
     for _ in 0..config.n_active {
@@ -292,6 +305,7 @@ fn worker_loop<A: IterativeApp>(
     injector: LoadInjector,
     initial: Option<(usize, Receiver<crate::msg::Msg>)>,
     max_iterations: usize,
+    tracer: Option<Arc<CommTracer>>,
 ) {
     struct Active<S> {
         next_iter: usize,
@@ -299,10 +313,16 @@ fn worker_loop<A: IterativeApp>(
         comm: SlotComm,
     }
 
-    let mut role: Option<Active<A::State>> = initial.map(|(slot, rx)| Active {
-        next_iter: 0,
-        state: app.init(slot, router.n_slots()),
-        comm: SlotComm::new(slot, router.clone(), rx),
+    let mut role: Option<Active<A::State>> = initial.map(|(slot, rx)| {
+        let mut comm = SlotComm::new(slot, router.clone(), rx);
+        if let Some(tr) = &tracer {
+            comm.set_tracer(Arc::clone(tr));
+        }
+        Active {
+            next_iter: 0,
+            state: app.init(slot, router.n_slots()),
+            comm,
+        }
     });
 
     loop {
@@ -432,6 +452,7 @@ fn manager_loop(
     report_rx: &Receiver<Report>,
     controls: &[Sender<Directive>],
     origin: Instant,
+    tracer: Option<&CommTracer>,
 ) -> (
     usize,
     Vec<SwapEvent>,
@@ -496,6 +517,13 @@ fn manager_loop(
             .fold(0.0, f64::max)
             .max(1e-9)
             * config.compression;
+        if let Some(tr) = tracer {
+            tr.emit(obs::TraceEvent::IterEnd {
+                t: vnow,
+                iter: iter - 1,
+                compute_end: vnow,
+            });
+        }
 
         state_size = config
             .state_size_override
@@ -579,6 +607,7 @@ fn manager_loop(
                     pause_secs: pause_for(state_size),
                 });
             }
+            emit_exchanges(tracer, &exchanges, iter, state_size, config.compression);
             enact(
                 exchanges,
                 &mut placement,
@@ -626,6 +655,18 @@ fn manager_loop(
                     })
                     .collect();
                 let decision = engine.decide(&snapshots, iter_time_v, state_size);
+                if let Some(tr) = tracer {
+                    tr.emit(obs::TraceEvent::SwapDecision {
+                        t: vnow,
+                        iter: iter - 1,
+                        old_iter_time: iter_time_v,
+                        swap_time: config.cost.swap_time(state_size),
+                        app_improvement: decision.app_improvement,
+                        stopped_because: decision.stopped_because,
+                        admitted: decision.pairs.clone(),
+                        rejected: decision.rejected,
+                    });
+                }
                 decision
                     .pairs
                     .iter()
@@ -643,6 +684,7 @@ fn manager_loop(
             }
         };
 
+        emit_exchanges(tracer, &exchanges, iter, state_size, config.compression);
         enact(
             exchanges,
             &mut placement,
@@ -651,6 +693,28 @@ fn manager_loop(
             &mut events,
             iter,
         );
+    }
+}
+
+/// Emits one [`obs::TraceEvent::SwapExec`] per admitted exchange, with
+/// the virtual transfer time actually charged to the incoming process.
+fn emit_exchanges(
+    tracer: Option<&CommTracer>,
+    exchanges: &[Exchange],
+    iter: usize,
+    state_size: f64,
+    compression: f64,
+) {
+    let Some(tr) = tracer else { return };
+    for ex in exchanges {
+        tr.emit(obs::TraceEvent::SwapExec {
+            t: tr.vnow(),
+            iter: iter - 1,
+            from: ex.from_worker,
+            to: ex.to_worker,
+            bytes: state_size,
+            transfer_secs: ex.pause_secs * compression,
+        });
     }
 }
 
@@ -812,6 +876,55 @@ mod tests {
     #[should_panic(expected = "n_workers")]
     fn rejects_underallocation() {
         RuntimeConfig::new(1, 2, 5).validate();
+    }
+
+    #[test]
+    fn traced_run_captures_decisions_swaps_and_communication() {
+        use loadmodel::LoadTrace;
+        let loaded = LoadTrace::from_intervals([(0.0, 1e9), (0.0, 1e9), (0.0, 1e9), (0.0, 1e9)]);
+        let mut cfg = RuntimeConfig::new(4, 2, 8);
+        cfg.decider = Decider::Policy(PolicyParams::greedy());
+        cfg.loads = vec![
+            LoadTrace::unloaded(),
+            loaded,
+            LoadTrace::unloaded(),
+            LoadTrace::unloaded(),
+        ];
+        cfg.compression = 1000.0;
+        cfg.cost = SwapCost::new(0.0, 1e12);
+        let (sink, collector) = obs::SharedSink::collector();
+        cfg.trace = Some(sink);
+        let report = run_iterative(cfg, SpinApp { spin_ms: 4 });
+        assert!(report.swap_count() >= 1);
+
+        let trace = std::sync::Arc::try_unwrap(collector)
+            .expect("all sink handles dropped after the run")
+            .into_trace();
+        let count = |kind: &str| trace.events.iter().filter(|e| e.kind() == kind).count();
+        // One IterEnd per round, one SwapDecision per non-final round.
+        assert_eq!(count("iter_end"), report.iterations_run);
+        assert_eq!(count("swap_decision"), report.iterations_run - 1);
+        // Every logged swap appears as a SwapExec with matching endpoints.
+        assert_eq!(count("swap_exec"), report.swap_count());
+        for ev in &report.swap_events {
+            assert!(
+                trace.events.iter().any(|e| matches!(
+                    e,
+                    obs::TraceEvent::SwapExec { iter, from, to, .. }
+                        if *iter == ev.iter - 1 && *from == ev.from_worker && *to == ev.to_worker
+                )),
+                "swap {ev:?} missing from trace"
+            );
+        }
+        // SpinApp's allreduce shows up as collective spans (outermost
+        // only — the nested gather/broadcast layers stay silent), and
+        // probes never appear (their reply order is nondeterministic).
+        assert!(count("collective") > 0);
+        assert_eq!(count("probe"), 0);
+        // Timestamps are in virtual time, monotone per emission thread
+        // overall bounded by the (compressed) run duration.
+        let horizon = report.wall_time.as_secs_f64() * 1000.0;
+        assert!(trace.events.iter().all(|e| e.time() <= horizon + 1.0));
     }
 
     #[test]

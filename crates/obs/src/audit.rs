@@ -1,0 +1,155 @@
+//! Decision audit: a human-readable account of every swap decision,
+//! showing the payback algebra (§5 of the paper) with actual numbers —
+//! `payback = (swap_time / old_iter_time) / (1 − old_perf / new_perf)`
+//! — and which gate approved or vetoed the exchange.
+
+use crate::event::TraceEvent;
+use crate::trace::TraceBundle;
+use std::fmt::Write;
+
+/// Renders the audit table for a whole bundle.
+pub fn render(bundle: &TraceBundle) -> String {
+    let mut out = String::new();
+    for run in &bundle.runs {
+        let decisions: Vec<&TraceEvent> = run
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SwapDecision { .. }))
+            .collect();
+        let _ = writeln!(
+            out,
+            "== run {} seed {} ({} decision points) ==",
+            run.label,
+            run.seed,
+            decisions.len()
+        );
+        for e in decisions {
+            let TraceEvent::SwapDecision {
+                t,
+                iter,
+                old_iter_time,
+                swap_time,
+                app_improvement,
+                stopped_because,
+                admitted,
+                rejected,
+            } = e
+            else {
+                unreachable!("filtered to decisions");
+            };
+            let verb = if admitted.is_empty() { "HOLD" } else { "SWAP" };
+            let _ = writeln!(
+                out,
+                "t={t:>12.3}s iter {iter:>4}: {verb}  iter_time={old_iter_time:.3}s swap_time={swap_time:.3}s"
+            );
+            for p in admitted {
+                let _ = writeln!(
+                    out,
+                    "    + {from:>3} -> {to:<3}  old={old:.3e} new={new:.3e} gain={gain:+.1}%  \
+                     payback = ({swap_time:.3}/{old_iter_time:.3}) / (1 - {old:.3e}/{new:.3e}) = {payback:.3} iters",
+                    from = p.from,
+                    to = p.to,
+                    old = p.old_perf,
+                    new = p.new_perf,
+                    gain = p.process_improvement * 100.0,
+                    payback = p.payback,
+                );
+            }
+            if let Some(r) = rejected {
+                let payback = r
+                    .payback
+                    .map(|p| format!("{p:.3} iters"))
+                    .unwrap_or_else(|| "not reached".into());
+                let _ = writeln!(
+                    out,
+                    "    x {from:>3} -> {to:<3}  old={old:.3e} new={new:.3e} gain={gain:+.1}%  payback = {payback}",
+                    from = r.from,
+                    to = r.to,
+                    old = r.old_perf,
+                    new = r.new_perf,
+                    gain = r.process_improvement * 100.0,
+                );
+            }
+            let _ = writeln!(
+                out,
+                "      stopped: {stopped_because} [{key}]  app_improvement={app:+.1}%",
+                key = stopped_because.key(),
+                app = app_improvement * 100.0,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use swap_core::{RejectedSwap, StopReason, SwapPair};
+
+    #[test]
+    fn audit_shows_payback_computation_and_vetoes() {
+        let mut b = TraceBundle::new();
+        b.push(
+            "swap/safe",
+            0,
+            Trace {
+                events: vec![
+                    TraceEvent::SwapDecision {
+                        t: 30.0,
+                        iter: 2,
+                        old_iter_time: 30.0,
+                        swap_time: 3.0,
+                        app_improvement: 0.5,
+                        stopped_because: StopReason::Exhausted,
+                        admitted: vec![SwapPair {
+                            from: 1,
+                            to: 6,
+                            old_perf: 1e8,
+                            new_perf: 2e8,
+                            payback: 0.2,
+                            process_improvement: 1.0,
+                        }],
+                        rejected: None,
+                    },
+                    TraceEvent::SwapDecision {
+                        t: 60.0,
+                        iter: 3,
+                        old_iter_time: 30.0,
+                        swap_time: 300.0,
+                        app_improvement: 0.0,
+                        stopped_because: StopReason::PaybackGateFailed,
+                        admitted: vec![],
+                        rejected: Some(RejectedSwap {
+                            from: 2,
+                            to: 7,
+                            old_perf: 1e8,
+                            new_perf: 1.5e8,
+                            process_improvement: 0.5,
+                            payback: Some(30.0),
+                        }),
+                    },
+                ],
+            },
+        );
+        let text = render(&b);
+        assert!(
+            text.contains("run swap/safe seed 0 (2 decision points)"),
+            "{text}"
+        );
+        assert!(text.contains("SWAP"), "{text}");
+        assert!(text.contains("HOLD"), "{text}");
+        // The payback algebra is spelled out with the actual inputs.
+        assert!(text.contains("(3.000/30.000)"), "{text}");
+        assert!(text.contains("= 0.200 iters"), "{text}");
+        assert!(text.contains("[payback_gate]"), "{text}");
+        assert!(text.contains("x   2 -> 7"), "{text}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let b = TraceBundle::new();
+        assert_eq!(render(&b), render(&b));
+    }
+}

@@ -1,0 +1,442 @@
+//! Chrome trace-event export (the JSON Array Format with a
+//! `traceEvents` wrapper), loadable in Perfetto or `chrome://tracing`.
+//!
+//! Layout: one *process* per run (pid = run index, named
+//! `"<label> (seed N)"`), one *thread track* per host (tid = host id)
+//! carrying compute slices, plus a `manager` track (tid
+//! [`MANAGER_TID`]) carrying decisions, swap executions and
+//! checkpoints. Swap executions additionally draw a flow arrow from the
+//! vacated host's track to the receiving host's track. Load changes
+//! become counter tracks (`ph: "C"`), so the external load each host
+//! sees is visible under the compute slices it perturbs.
+//!
+//! The vendored serde_json has no `json!` macro, so events are built as
+//! explicit [`Value`] trees; `Value::Map` preserves insertion order,
+//! keeping the output byte-deterministic.
+
+use crate::event::TraceEvent;
+use crate::trace::TraceBundle;
+use serde::value::{Number, Value};
+
+/// Synthetic tid for the per-run swap-manager track (well above any
+/// plausible host id).
+pub const MANAGER_TID: u64 = 1_000_000;
+
+fn str_v(v: impl Into<String>) -> Value {
+    Value::Str(v.into())
+}
+
+fn u64_v(v: u64) -> Value {
+    Value::Num(Number::U64(v))
+}
+
+fn f64_v(v: f64) -> Value {
+    Value::Num(Number::F64(v))
+}
+
+/// Simulated seconds → trace microseconds.
+fn us(t: f64) -> Value {
+    f64_v(t * 1e6)
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// A complete-slice event (`ph: "X"`).
+fn slice(
+    name: String,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    start: f64,
+    end: f64,
+    args: Option<Value>,
+) -> Value {
+    let mut pairs = vec![
+        ("name", str_v(name)),
+        ("cat", str_v(cat)),
+        ("ph", str_v("X")),
+        ("ts", us(start)),
+        ("dur", us((end - start).max(0.0))),
+        ("pid", u64_v(pid)),
+        ("tid", u64_v(tid)),
+    ];
+    if let Some(a) = args {
+        pairs.push(("args", a));
+    }
+    obj(pairs)
+}
+
+/// An instant event (`ph: "i"`, thread scope).
+fn instant(name: String, cat: &str, pid: u64, tid: u64, t: f64, args: Option<Value>) -> Value {
+    let mut pairs = vec![
+        ("name", str_v(name)),
+        ("cat", str_v(cat)),
+        ("ph", str_v("i")),
+        ("s", str_v("t")),
+        ("ts", us(t)),
+        ("pid", u64_v(pid)),
+        ("tid", u64_v(tid)),
+    ];
+    if let Some(a) = args {
+        pairs.push(("args", a));
+    }
+    obj(pairs)
+}
+
+/// A metadata event naming a process or thread.
+fn metadata(name: &str, pid: u64, tid: u64, value: String) -> Value {
+    obj(vec![
+        ("name", str_v(name)),
+        ("ph", str_v("M")),
+        ("pid", u64_v(pid)),
+        ("tid", u64_v(tid)),
+        ("args", obj(vec![("name", str_v(value))])),
+    ])
+}
+
+/// Flow start/finish pair for a swap arrow between two host tracks.
+fn flow(ph: &str, id: u64, pid: u64, tid: u64, t: f64) -> Value {
+    let mut pairs = vec![
+        ("name", str_v("swap")),
+        ("cat", str_v("swap")),
+        ("ph", str_v(ph)),
+        ("id", u64_v(id)),
+        ("ts", us(t)),
+        ("pid", u64_v(pid)),
+        ("tid", u64_v(tid)),
+    ];
+    if ph == "f" {
+        // Bind to the enclosing slice's end, the conventional terminus.
+        pairs.insert(4, ("bp", str_v("e")));
+    }
+    obj(pairs)
+}
+
+/// Converts a bundle to Chrome trace JSON text.
+pub fn to_chrome_trace(bundle: &TraceBundle) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    let mut flow_id: u64 = 0;
+
+    for (pid, run) in bundle.runs.iter().enumerate() {
+        let pid = pid as u64;
+        events.push(metadata(
+            "process_name",
+            pid,
+            0,
+            format!("{} (seed {})", run.label, run.seed),
+        ));
+        events.push(metadata("thread_name", pid, MANAGER_TID, "manager".into()));
+        let mut named_hosts: Vec<u64> = Vec::new();
+        let mut host_track = |host: u64, events: &mut Vec<Value>| {
+            if !named_hosts.contains(&host) {
+                named_hosts.push(host);
+                events.push(metadata("thread_name", pid, host, format!("host {host}")));
+            }
+        };
+
+        for e in &run.trace.events {
+            match e {
+                TraceEvent::IterStart { .. } => {}
+                TraceEvent::ComputeSpan {
+                    host,
+                    iter,
+                    start,
+                    end,
+                } => {
+                    let host = *host as u64;
+                    host_track(host, &mut events);
+                    events.push(slice(
+                        format!("iter {iter}"),
+                        "compute",
+                        pid,
+                        host,
+                        *start,
+                        *end,
+                        None,
+                    ));
+                }
+                TraceEvent::IterEnd {
+                    t,
+                    iter,
+                    compute_end,
+                } => {
+                    events.push(instant(
+                        format!("iter {iter} end"),
+                        "iteration",
+                        pid,
+                        MANAGER_TID,
+                        *t,
+                        Some(obj(vec![("compute_end", f64_v(*compute_end))])),
+                    ));
+                }
+                TraceEvent::Probe { t, host, rate } => {
+                    let host = *host as u64;
+                    host_track(host, &mut events);
+                    events.push(instant(
+                        "probe".into(),
+                        "probe",
+                        pid,
+                        host,
+                        *t,
+                        Some(obj(vec![("rate", f64_v(*rate))])),
+                    ));
+                }
+                TraceEvent::LoadChange { t, host, competing } => {
+                    events.push(obj(vec![
+                        ("name", str_v(format!("load host {host}"))),
+                        ("cat", str_v("load")),
+                        ("ph", str_v("C")),
+                        ("ts", us(*t)),
+                        ("pid", u64_v(pid)),
+                        ("args", obj(vec![("competing", f64_v(*competing))])),
+                    ]));
+                }
+                TraceEvent::SwapDecision {
+                    t,
+                    iter,
+                    old_iter_time,
+                    swap_time,
+                    app_improvement,
+                    stopped_because,
+                    admitted,
+                    rejected,
+                } => {
+                    let mut args = vec![
+                        ("old_iter_time", f64_v(*old_iter_time)),
+                        ("swap_time", f64_v(*swap_time)),
+                        ("app_improvement", f64_v(*app_improvement)),
+                        ("stopped_because", str_v(stopped_because.key())),
+                        ("admitted", u64_v(admitted.len() as u64)),
+                    ];
+                    if let Some(r) = rejected {
+                        args.push((
+                            "rejected",
+                            obj(vec![
+                                ("from", u64_v(r.from as u64)),
+                                ("to", u64_v(r.to as u64)),
+                                ("old_perf", f64_v(r.old_perf)),
+                                ("new_perf", f64_v(r.new_perf)),
+                                ("payback", r.payback.map(f64_v).unwrap_or(Value::Null)),
+                            ]),
+                        ));
+                    }
+                    let verb = if admitted.is_empty() { "hold" } else { "swap" };
+                    events.push(instant(
+                        format!("decision iter {iter}: {verb}"),
+                        "decision",
+                        pid,
+                        MANAGER_TID,
+                        *t,
+                        Some(obj(args)),
+                    ));
+                }
+                TraceEvent::SwapExec {
+                    t,
+                    iter,
+                    from,
+                    to,
+                    bytes,
+                    transfer_secs,
+                } => {
+                    let (from_t, to_t) = (*from as u64, *to as u64);
+                    host_track(from_t, &mut events);
+                    host_track(to_t, &mut events);
+                    events.push(slice(
+                        format!("swap {from}->{to}"),
+                        "swap",
+                        pid,
+                        MANAGER_TID,
+                        *t,
+                        *t + *transfer_secs,
+                        Some(obj(vec![
+                            ("iter", u64_v(*iter as u64)),
+                            ("bytes", f64_v(*bytes)),
+                        ])),
+                    ));
+                    events.push(flow("s", flow_id, pid, from_t, *t));
+                    events.push(flow("f", flow_id, pid, to_t, *t + *transfer_secs));
+                    flow_id += 1;
+                }
+                TraceEvent::Checkpoint {
+                    t,
+                    iter,
+                    bytes,
+                    pause_secs,
+                } => {
+                    events.push(slice(
+                        format!("checkpoint iter {iter}"),
+                        "checkpoint",
+                        pid,
+                        MANAGER_TID,
+                        *t,
+                        *t + *pause_secs,
+                        Some(obj(vec![("bytes", f64_v(*bytes))])),
+                    ));
+                }
+                TraceEvent::MsgSend {
+                    t,
+                    from,
+                    to,
+                    tag,
+                    bytes,
+                } => {
+                    let from_t = *from as u64;
+                    host_track(from_t, &mut events);
+                    events.push(instant(
+                        format!("send tag {tag} -> {to}"),
+                        "msg",
+                        pid,
+                        from_t,
+                        *t,
+                        Some(obj(vec![("bytes", u64_v(*bytes as u64))])),
+                    ));
+                }
+                TraceEvent::MsgRecv {
+                    t0,
+                    t1,
+                    to,
+                    from,
+                    tag,
+                    bytes,
+                } => {
+                    let to_t = *to as u64;
+                    host_track(to_t, &mut events);
+                    events.push(slice(
+                        format!("recv tag {tag} <- {from}"),
+                        "msg",
+                        pid,
+                        to_t,
+                        *t0,
+                        *t1,
+                        Some(obj(vec![("bytes", u64_v(*bytes as u64))])),
+                    ));
+                }
+                TraceEvent::Collective { t0, t1, slot, op } => {
+                    let slot_t = *slot as u64;
+                    host_track(slot_t, &mut events);
+                    events.push(slice(op.clone(), "collective", pid, slot_t, *t0, *t1, None));
+                }
+            }
+        }
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", str_v("ms")),
+    ]);
+    serde_json::to_string(&root).expect("chrome trace serializes")
+}
+
+/// Structural validation of Chrome trace JSON: parses the text, checks
+/// the `traceEvents` array, and that every event carries the fields the
+/// format requires (`ph`/`pid`/`name`, `ts` for non-metadata phases).
+/// Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let Value::Map(fields) = root else {
+        return Err("top level is not an object".into());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents")?;
+    let Value::Seq(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    for (i, e) in events.iter().enumerate() {
+        let Value::Map(fields) = e else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v);
+        let ph = match get("ph") {
+            Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("event {i} has no ph")),
+        };
+        for key in ["name", "pid"] {
+            if get(key).is_none() {
+                return Err(format!("event {i} ({ph}) missing {key}"));
+            }
+        }
+        if ph != "M" && !matches!(get("ts"), Some(Value::Num(_))) {
+            return Err(format!("event {i} ({ph}) missing numeric ts"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn sample_bundle() -> TraceBundle {
+        let mut b = TraceBundle::new();
+        b.push(
+            "swap/greedy",
+            7,
+            Trace {
+                events: vec![
+                    TraceEvent::ComputeSpan {
+                        host: 0,
+                        iter: 0,
+                        start: 0.0,
+                        end: 10.0,
+                    },
+                    TraceEvent::IterEnd {
+                        t: 11.0,
+                        iter: 0,
+                        compute_end: 10.0,
+                    },
+                    TraceEvent::SwapExec {
+                        t: 11.0,
+                        iter: 0,
+                        from: 0,
+                        to: 2,
+                        bytes: 1e6,
+                        transfer_secs: 0.5,
+                    },
+                    TraceEvent::LoadChange {
+                        t: 3.0,
+                        host: 0,
+                        competing: 1.0,
+                    },
+                ],
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_has_tracks() {
+        let text = to_chrome_trace(&sample_bundle());
+        let n = validate_chrome_trace(&text).unwrap();
+        assert!(n >= 7, "expected metadata + events, got {n}");
+        assert!(text.contains("\"process_name\""));
+        assert!(text.contains("swap/greedy (seed 7)"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        // One flow arrow pair for the swap.
+        assert!(text.contains("\"ph\":\"s\""));
+        assert!(text.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn validator_rejects_broken_events() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{}]}").is_err());
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"pid\":0}]}"
+        )
+        .is_err()); // missing ts
+        assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}"), Ok(0));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let b = sample_bundle();
+        assert_eq!(to_chrome_trace(&b), to_chrome_trace(&b));
+    }
+}

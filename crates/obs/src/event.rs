@@ -1,0 +1,205 @@
+//! The typed event model.
+//!
+//! All timestamps are in *simulated* seconds for simulator-side events
+//! (deterministic across thread counts) and in virtual seconds for
+//! minimpi runtime events (wall clock × time compression, so those
+//! traces are faithful but not bit-reproducible). The `kind` tag keeps
+//! the JSONL self-describing.
+
+use serde::{Deserialize, Serialize};
+use swap_core::{RejectedSwap, StopReason, SwapPair};
+
+/// One trace event. Field names are part of the JSONL schema.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// An application iteration began on the listed active hosts.
+    IterStart {
+        t: f64,
+        iter: usize,
+        active: Vec<usize>,
+    },
+    /// One process's compute phase on `host` during `iter`.
+    ComputeSpan {
+        host: usize,
+        iter: usize,
+        start: f64,
+        end: f64,
+    },
+    /// The iteration (compute + communication) completed.
+    IterEnd {
+        t: f64,
+        iter: usize,
+        compute_end: f64,
+    },
+    /// A spare processor answered a performance probe.
+    Probe { t: f64, host: usize, rate: f64 },
+    /// External (competing) load on `host` changed.
+    LoadChange { t: f64, host: usize, competing: f64 },
+    /// The decision engine evaluated a swap at an iteration boundary.
+    /// Records the full payback inputs: the measured iteration time, the
+    /// modeled swap time, every admitted pair (with `old_perf`,
+    /// `new_perf`, payback distance and per-process gain), the first
+    /// refused candidate, and which gate stopped the round.
+    SwapDecision {
+        t: f64,
+        iter: usize,
+        old_iter_time: f64,
+        swap_time: f64,
+        app_improvement: f64,
+        stopped_because: StopReason,
+        admitted: Vec<SwapPair>,
+        rejected: Option<RejectedSwap>,
+    },
+    /// One admitted exchange was carried out.
+    SwapExec {
+        t: f64,
+        iter: usize,
+        from: usize,
+        to: usize,
+        bytes: f64,
+        transfer_secs: f64,
+    },
+    /// A checkpoint/restart cycle (the CR strategy's adaptation).
+    Checkpoint {
+        t: f64,
+        iter: usize,
+        bytes: f64,
+        pause_secs: f64,
+    },
+    /// minimpi point-to-point send (application tags only).
+    MsgSend {
+        t: f64,
+        from: usize,
+        to: usize,
+        tag: u32,
+        bytes: usize,
+    },
+    /// minimpi point-to-point receive completion; `t0` is when the
+    /// receiver started waiting, `t1` when the message was consumed.
+    MsgRecv {
+        t0: f64,
+        t1: f64,
+        to: usize,
+        from: usize,
+        tag: u32,
+        bytes: usize,
+    },
+    /// A top-level minimpi collective as seen by one slot.
+    Collective {
+        t0: f64,
+        t1: f64,
+        slot: usize,
+        op: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's primary timestamp (start time for spans), used for
+    /// ordering checks and exporter bookkeeping.
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::IterStart { t, .. }
+            | TraceEvent::IterEnd { t, .. }
+            | TraceEvent::Probe { t, .. }
+            | TraceEvent::LoadChange { t, .. }
+            | TraceEvent::SwapDecision { t, .. }
+            | TraceEvent::SwapExec { t, .. }
+            | TraceEvent::Checkpoint { t, .. }
+            | TraceEvent::MsgSend { t, .. } => *t,
+            TraceEvent::ComputeSpan { start, .. } => *start,
+            TraceEvent::MsgRecv { t0, .. } | TraceEvent::Collective { t0, .. } => *t0,
+        }
+    }
+
+    /// Stable schema tag, matching the serialized `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::IterStart { .. } => "iter_start",
+            TraceEvent::ComputeSpan { .. } => "compute_span",
+            TraceEvent::IterEnd { .. } => "iter_end",
+            TraceEvent::Probe { .. } => "probe",
+            TraceEvent::LoadChange { .. } => "load_change",
+            TraceEvent::SwapDecision { .. } => "swap_decision",
+            TraceEvent::SwapExec { .. } => "swap_exec",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::MsgSend { .. } => "msg_send",
+            TraceEvent::MsgRecv { .. } => "msg_recv",
+            TraceEvent::Collective { .. } => "collective",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            TraceEvent::IterStart {
+                t: 0.0,
+                iter: 0,
+                active: vec![0, 3],
+            },
+            TraceEvent::SwapDecision {
+                t: 12.5,
+                iter: 1,
+                old_iter_time: 12.5,
+                swap_time: 3.0,
+                app_improvement: 0.25,
+                stopped_because: StopReason::Exhausted,
+                admitted: vec![SwapPair {
+                    from: 0,
+                    to: 5,
+                    old_perf: 1e8,
+                    new_perf: 2e8,
+                    payback: 0.48,
+                    process_improvement: 1.0,
+                }],
+                rejected: None,
+            },
+            TraceEvent::MsgRecv {
+                t0: 1.0,
+                t1: 1.5,
+                to: 2,
+                from: 0,
+                tag: 7,
+                bytes: 1024,
+            },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            assert!(
+                json.contains(&format!("\"kind\":\"{}\"", e.kind())),
+                "{json}"
+            );
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn rejected_candidate_serializes_inside_decision() {
+        let e = TraceEvent::SwapDecision {
+            t: 1.0,
+            iter: 0,
+            old_iter_time: 10.0,
+            swap_time: 100.0,
+            app_improvement: 0.0,
+            stopped_because: StopReason::PaybackGateFailed,
+            admitted: vec![],
+            rejected: Some(RejectedSwap {
+                from: 1,
+                to: 4,
+                old_perf: 1e8,
+                new_perf: 2e8,
+                process_improvement: 1.0,
+                payback: Some(20.0),
+            }),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,269 @@
+//! Counters and histograms derived from traces.
+//!
+//! `BTreeMap` keys keep every export deterministic: same trace bundle →
+//! same JSON bytes, same text table.
+
+use crate::event::TraceEvent;
+use crate::trace::TraceBundle;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary statistics over observed samples.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Counts per power-of-two bucket of the sample value: bucket `i`
+    /// holds samples in `[2^(i-64), 2^(i-63))` seconds (i.e. the
+    /// exponent is offset so sub-second samples still land in range);
+    /// sparse, keyed by bucket index.
+    pub buckets: BTreeMap<String, u64>,
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let bucket = if v > 0.0 && v.is_finite() {
+            // log2 bucket, clamped to a printable range.
+            (v.log2().floor() as i64).clamp(-64, 63)
+        } else {
+            -64
+        };
+        *self.buckets.entry(format!("{bucket}")).or_insert(0) += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The metrics registry: named counters and histograms.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn incr(&mut self, key: &str, by: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += by;
+    }
+
+    pub fn observe(&mut self, key: &str, v: f64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Derives the standard registry from a trace bundle:
+    ///
+    /// * `decisions` — swap-decision evaluations;
+    /// * `swaps_attempted` — pairs admitted by the engine;
+    /// * `swaps_committed` — exchanges actually executed;
+    /// * `swaps_vetoed.<gate>` — decision points stopped by each gate
+    ///   with no pair admitted;
+    /// * `checkpoints`, `messages` — other event tallies;
+    /// * histograms `iter_time/<label>`, `payback`, `swap_transfer_secs`,
+    ///   `decision_latency_sim_secs` (time from iteration end to the
+    ///   decision's timestamp — zero in the discrete simulator, nonzero
+    ///   under the minimpi runtime's virtual clock).
+    pub fn from_bundle(bundle: &TraceBundle) -> Self {
+        let mut m = Metrics::new();
+        for run in &bundle.runs {
+            let mut last_iter_end: Option<f64> = None;
+            let mut prev_end = 0.0f64;
+            for e in &run.trace.events {
+                match e {
+                    TraceEvent::IterEnd { t, .. } => {
+                        m.observe(&format!("iter_time/{}", run.label), t - prev_end);
+                        prev_end = *t;
+                        last_iter_end = Some(*t);
+                    }
+                    TraceEvent::SwapDecision {
+                        t,
+                        admitted,
+                        stopped_because,
+                        ..
+                    } => {
+                        m.incr("decisions", 1);
+                        m.incr("swaps_attempted", admitted.len() as u64);
+                        if admitted.is_empty() {
+                            m.incr(&format!("swaps_vetoed.{}", stopped_because.key()), 1);
+                        }
+                        for pair in admitted {
+                            m.observe("payback", pair.payback);
+                        }
+                        if let Some(end) = last_iter_end {
+                            m.observe("decision_latency_sim_secs", t - end);
+                        }
+                    }
+                    TraceEvent::SwapExec {
+                        bytes,
+                        transfer_secs,
+                        ..
+                    } => {
+                        m.incr("swaps_committed", 1);
+                        m.incr("swap_bytes_moved", *bytes as u64);
+                        m.observe("swap_transfer_secs", *transfer_secs);
+                    }
+                    TraceEvent::Checkpoint {
+                        bytes, pause_secs, ..
+                    } => {
+                        m.incr("checkpoints", 1);
+                        m.incr("checkpoint_bytes_moved", *bytes as u64);
+                        m.observe("checkpoint_pause_secs", *pause_secs);
+                    }
+                    TraceEvent::MsgSend { bytes, .. } => {
+                        m.incr("messages", 1);
+                        m.incr("message_bytes", *bytes as u64);
+                    }
+                    TraceEvent::Collective { t0, t1, .. } => {
+                        m.incr("collectives", 1);
+                        m.observe("collective_secs", t1 - t0);
+                    }
+                    TraceEvent::Probe { .. } => m.incr("probes", 1),
+                    TraceEvent::LoadChange { .. } => m.incr("load_changes", 1),
+                    TraceEvent::IterStart { .. }
+                    | TraceEvent::ComputeSpan { .. }
+                    | TraceEvent::MsgRecv { .. } => {}
+                }
+            }
+        }
+        m
+    }
+
+    /// Renders a fixed-width text table (counters, then histograms).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("  {k:<32} {v}\n"));
+        }
+        out.push_str("histograms:\n");
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {k:<32} n={} mean={:.6} min={:.6} max={:.6}\n",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use swap_core::StopReason;
+
+    fn bundle_with(events: Vec<TraceEvent>) -> TraceBundle {
+        let mut b = TraceBundle::new();
+        b.push("swap/greedy", 0, Trace { events });
+        b
+    }
+
+    #[test]
+    fn veto_counters_use_gate_keys() {
+        let b = bundle_with(vec![
+            TraceEvent::IterEnd {
+                t: 10.0,
+                iter: 0,
+                compute_end: 9.0,
+            },
+            TraceEvent::SwapDecision {
+                t: 10.0,
+                iter: 0,
+                old_iter_time: 10.0,
+                swap_time: 1.0,
+                app_improvement: 0.0,
+                stopped_because: StopReason::PaybackGateFailed,
+                admitted: vec![],
+                rejected: None,
+            },
+        ]);
+        let m = Metrics::from_bundle(&b);
+        assert_eq!(m.counter("decisions"), 1);
+        assert_eq!(m.counter("swaps_vetoed.payback_gate"), 1);
+        assert_eq!(m.counter("swaps_committed"), 0);
+        assert_eq!(m.histograms["iter_time/swap/greedy"].count, 1);
+    }
+
+    #[test]
+    fn exec_and_checkpoint_tallies() {
+        let b = bundle_with(vec![
+            TraceEvent::SwapExec {
+                t: 1.0,
+                iter: 0,
+                from: 0,
+                to: 3,
+                bytes: 1e6,
+                transfer_secs: 0.5,
+            },
+            TraceEvent::Checkpoint {
+                t: 2.0,
+                iter: 1,
+                bytes: 4e6,
+                pause_secs: 2.0,
+            },
+        ]);
+        let m = Metrics::from_bundle(&b);
+        assert_eq!(m.counter("swaps_committed"), 1);
+        assert_eq!(m.counter("swap_bytes_moved"), 1_000_000);
+        assert_eq!(m.counter("checkpoints"), 1);
+        assert!((m.histograms["swap_transfer_secs"].mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_tracks_extrema_and_buckets() {
+        let mut h = Histogram::default();
+        for v in [0.5, 2.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 8.0);
+        assert_eq!(h.buckets.get("-1"), Some(&1)); // 0.5 → 2^-1
+        assert_eq!(h.buckets.get("1"), Some(&1)); // 2.0 → 2^1
+        assert_eq!(h.buckets.get("3"), Some(&1)); // 8.0 → 2^3
+    }
+
+    #[test]
+    fn render_is_deterministic_and_json_round_trips() {
+        let b = bundle_with(vec![TraceEvent::Probe {
+            t: 0.0,
+            host: 1,
+            rate: 2.0,
+        }]);
+        let m = Metrics::from_bundle(&b);
+        assert_eq!(m.render(), Metrics::from_bundle(&b).render());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

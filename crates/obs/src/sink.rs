@@ -1,0 +1,139 @@
+//! Event sinks: where instrumented code sends its [`TraceEvent`]s.
+
+use crate::event::TraceEvent;
+use crate::trace::Trace;
+use std::sync::{Arc, Mutex};
+
+/// Receives events from instrumented code.
+///
+/// Emission takes `&self` so a sink can be shared across threads (the
+/// minimpi runtime emits from the manager and from worker threads); the
+/// provided [`Collector`] locks internally. Simulator strategies run a
+/// whole replication on one thread, so their event order within a run is
+/// the program order of the simulation itself.
+pub trait TraceSink: Send + Sync {
+    fn emit(&self, event: TraceEvent);
+}
+
+/// Discards everything (useful as an explicit "tracing off" sink).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: TraceEvent) {}
+}
+
+/// Accumulates events in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct Collector {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Collector {
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Consumes the collector, yielding the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            events: self.events.into_inner().expect("collector lock poisoned"),
+        }
+    }
+
+    /// Copies the events recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        Trace {
+            events: self.events.lock().expect("collector lock poisoned").clone(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector lock poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for Collector {
+    fn emit(&self, event: TraceEvent) {
+        self.events
+            .lock()
+            .expect("collector lock poisoned")
+            .push(event);
+    }
+}
+
+/// A cloneable, shareable handle to a sink — the form configuration
+/// structs carry (e.g. minimpi's `RuntimeConfig`), since they need
+/// `Clone` and the trait object alone is not.
+#[derive(Clone)]
+pub struct SharedSink(Arc<dyn TraceSink>);
+
+impl SharedSink {
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        SharedSink(sink)
+    }
+
+    /// Convenience: a shared collector plus a handle for draining it.
+    pub fn collector() -> (Self, Arc<Collector>) {
+        let c = Arc::new(Collector::new());
+        (SharedSink(c.clone()), c)
+    }
+}
+
+// `Debug` can't be derived over a `dyn` trait object; the handle is
+// opaque anyway.
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink(..)")
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn emit(&self, event: TraceEvent) {
+        self.0.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_preserves_emission_order() {
+        let c = Collector::new();
+        for i in 0..5 {
+            c.emit(TraceEvent::IterEnd {
+                t: i as f64,
+                iter: i,
+                compute_end: i as f64,
+            });
+        }
+        let trace = c.into_trace();
+        assert_eq!(trace.events.len(), 5);
+        for (i, e) in trace.events.iter().enumerate() {
+            assert_eq!(e.time(), i as f64);
+        }
+    }
+
+    #[test]
+    fn shared_sink_feeds_the_underlying_collector() {
+        let (sink, collector) = SharedSink::collector();
+        let clone = sink.clone();
+        clone.emit(TraceEvent::Probe {
+            t: 1.0,
+            host: 2,
+            rate: 3.0,
+        });
+        sink.emit(TraceEvent::Probe {
+            t: 2.0,
+            host: 2,
+            rate: 3.5,
+        });
+        assert_eq!(collector.len(), 2);
+        assert!(format!("{sink:?}").contains("SharedSink"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Trace containers: one run's event stream, and a bundle of labeled
+//! runs (the unit the exporters consume).
+
+use crate::event::TraceEvent;
+use serde::{Deserialize, Serialize};
+
+/// One run's events, in emission order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace::default()
+    }
+}
+
+/// A labeled, seeded run trace. `label` is typically the strategy name;
+/// the (label, seed) pair identifies the run in every export format.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    pub label: String,
+    pub seed: u64,
+    pub trace: Trace,
+}
+
+/// The full artifact of a traced experiment: runs in deterministic
+/// (strategy-order × seed-order) sequence, independent of how many
+/// worker threads produced them.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    pub runs: Vec<RunTrace>,
+}
+
+impl TraceBundle {
+    pub fn new() -> Self {
+        TraceBundle::default()
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, seed: u64, trace: Trace) {
+        self.runs.push(RunTrace {
+            label: label.into(),
+            seed,
+            trace,
+        });
+    }
+
+    /// Total number of events across all runs.
+    pub fn event_count(&self) -> usize {
+        self.runs.iter().map(|r| r.trace.events.len()).sum()
+    }
+}

@@ -21,6 +21,25 @@ pub fn effective_jobs(jobs: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// Per-run accounting from [`par_map_stats`]: how much wall time each
+/// worker spent *inside* `f`. Busy time excludes channel/cursor
+/// overhead and idle tail time, so `sum(busy) / (jobs × elapsed)` is a
+/// faithful utilization figure and `sum(busy)` is the serial-equivalent
+/// compute time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParStats {
+    /// One entry per worker actually spawned (a single entry for the
+    /// serial path), in worker index order.
+    pub worker_busy_secs: Vec<f64>,
+}
+
+impl ParStats {
+    /// Total time spent inside the mapped function, summed over workers.
+    pub fn busy_secs(&self) -> f64 {
+        self.worker_busy_secs.iter().sum()
+    }
+}
+
 /// Maps `f` over `items` using up to `jobs` worker threads (`0` = auto),
 /// returning results in item order.
 ///
@@ -43,44 +62,77 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_stats(items, jobs, f).0
+}
+
+/// [`par_map`] plus per-worker busy-time accounting ([`ParStats`]).
+pub fn par_map_stats<T, R, F>(items: &[T], jobs: usize, f: F) -> (Vec<R>, ParStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let jobs = effective_jobs(jobs).min(items.len().max(1));
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let t0 = std::time::Instant::now();
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let stats = ParStats {
+            worker_busy_secs: vec![t0.elapsed().as_secs_f64()],
+        };
+        return (out, stats);
     }
 
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = channel::unbounded::<(usize, R)>();
-    let slots = std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let out = f(i, item);
-                // The receiver lives in this same scope; a send can only
-                // fail once the collector is gone, in which case the
-                // result is moot.
-                if tx.send((i, out)).is_err() {
-                    break;
-                }
-            });
-        }
+    let (slots, stats) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut busy = 0.0f64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let t0 = std::time::Instant::now();
+                        let out = f(i, item);
+                        busy += t0.elapsed().as_secs_f64();
+                        // The receiver lives in this same scope; a send can
+                        // only fail once the collector is gone, in which
+                        // case the result is moot.
+                        if tx.send((i, out)).is_err() {
+                            break;
+                        }
+                    }
+                    busy
+                })
+            })
+            .collect();
         drop(tx);
 
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         for (i, r) in rx.iter() {
             slots[i] = Some(r);
         }
-        slots
+        let mut stats = ParStats::default();
+        for h in handles {
+            match h.join() {
+                Ok(busy) => stats.worker_busy_secs.push(busy),
+                // Re-raise the worker's panic on the caller thread, same
+                // as the implicit join at scope exit would.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        (slots, stats)
     });
     // The scope has joined every worker; a worker panic propagated above,
     // so every slot is filled here.
-    slots
+    let out = slots
         .into_iter()
         .map(|s| s.expect("worker completed"))
-        .collect()
+        .collect();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -121,6 +173,29 @@ mod tests {
     fn effective_jobs_resolves_zero_to_at_least_one() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(5), 5);
+    }
+
+    #[test]
+    fn stats_report_one_busy_entry_per_worker() {
+        let items: Vec<u64> = (0..16).collect();
+        let (out, stats) = par_map_stats(&items, 4, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(stats.worker_busy_secs.len(), 4);
+        // Every item slept inside f, so total busy covers 16 × 200 µs.
+        assert!(stats.busy_secs() >= 16.0 * 200e-6, "{stats:?}");
+        assert!(stats.worker_busy_secs.iter().all(|&b| b >= 0.0));
+    }
+
+    #[test]
+    fn serial_path_reports_a_single_worker() {
+        let items = [1u8, 2, 3];
+        let (_, stats) = par_map_stats(&items, 1, |_, &x| x);
+        assert_eq!(stats.worker_busy_secs.len(), 1);
+        let (_, stats) = par_map_stats(&[] as &[u8], 4, |_, &x| x);
+        assert_eq!(stats.worker_busy_secs.len(), 1);
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub struct IterationOutcome {
     /// Measured compute rate of each active process during this iteration
     /// (flop/s), parallel to the `active`/`work` inputs.
     pub measured_rates: Vec<f64>,
+    /// When each process finished its compute phase, parallel to
+    /// `active`/`work` (feeds per-host trace spans).
+    pub completions: Vec<f64>,
 }
 
 /// Runs one BSP iteration starting at `t0`.
@@ -136,6 +139,7 @@ pub fn run_iteration(
         compute_end,
         end: compute_end + comm,
         measured_rates,
+        completions,
     }
 }
 
@@ -199,6 +203,7 @@ pub fn run_iteration_eager(
         compute_end,
         end,
         measured_rates,
+        completions,
     }
 }
 

@@ -15,13 +15,15 @@ pub fn host_occupancy(result: &RunResult, host: usize) -> Vec<(f64, f64)> {
     for it in &result.iterations {
         let active = it.active.contains(&host);
         if active {
-            if prev_active {
+            match spans.last_mut() {
                 // Contiguous across the iteration boundary (including any
                 // adaptation pause, during which the process still owns
-                // the host).
-                spans.last_mut().expect("span exists when contiguous").1 = it.end;
-            } else {
-                spans.push((it.start, it.end));
+                // the host). Merging keys on *consecutive activity*, not
+                // on coordinates: two spans that merely touch — the host
+                // swapped out and back in at the same instant, or idle
+                // for a zero-length iteration in between — stay distinct.
+                Some(last) if prev_active => last.1 = it.end,
+                _ => spans.push((it.start, it.end)),
             }
         }
         prev_active = active;
@@ -133,6 +135,60 @@ mod tests {
         assert_eq!(host_occupancy(&r, 0), vec![(0.0, 40.0)]);
     }
 
+    /// Host 1 is active, sits out one iteration, and returns exactly
+    /// where the previous interval ended (and where the idle iteration
+    /// started and ended): the two intervals touch at t=10 but must not
+    /// be glued into one.
+    fn result_with_touching_gap() -> RunResult {
+        RunResult {
+            strategy: "test".into(),
+            execution_time: 30.0,
+            startup_time: 0.0,
+            adaptations: 2,
+            adapt_time_total: 0.0,
+            iterations: vec![
+                IterationRecord {
+                    index: 0,
+                    start: 0.0,
+                    compute_end: 10.0,
+                    end: 10.0,
+                    adapt_time: 0.0,
+                    active: vec![0, 1],
+                },
+                // Zero-length iteration (degenerate but representable)
+                // during which host 1 is idle.
+                IterationRecord {
+                    index: 1,
+                    start: 10.0,
+                    compute_end: 10.0,
+                    end: 10.0,
+                    adapt_time: 0.0,
+                    active: vec![0, 2],
+                },
+                IterationRecord {
+                    index: 2,
+                    start: 10.0,
+                    compute_end: 30.0,
+                    end: 30.0,
+                    adapt_time: 0.0,
+                    active: vec![0, 1],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn touching_intervals_across_idle_iterations_stay_separate() {
+        let r = result_with_touching_gap();
+        assert_eq!(host_occupancy(&r, 1), vec![(0.0, 10.0), (10.0, 30.0)]);
+        // The continuously active host still merges into one span...
+        assert_eq!(host_occupancy(&r, 0), vec![(0.0, 30.0)]);
+        // ...and the CSV shows host 1's two separate spans.
+        let csv = to_csv(&r);
+        assert!(csv.contains("1,0,10\n"), "{csv}");
+        assert!(csv.contains("1,10,30\n"), "{csv}");
+    }
+
     #[test]
     fn ascii_chart_has_one_row_per_host() {
         let art = render_ascii(&result_with_swap(), 40);
@@ -142,10 +198,37 @@ mod tests {
     }
 
     #[test]
+    fn ascii_rows_have_exactly_width_columns_and_idle_dots() {
+        let width = 24;
+        let art = render_ascii(&result_with_swap(), width);
+        for line in art.lines().skip(1) {
+            let row = line.split('|').nth(1).expect("row between pipes: {line}");
+            assert_eq!(row.chars().count(), width, "{line}");
+        }
+        // Host 1 idles after t=10 (of 40): its row must contain idle
+        // markers; host 0 computes throughout and must contain none.
+        let row_of = |h: &str| {
+            art.lines()
+                .find(|l| l.starts_with(h))
+                .unwrap()
+                .split('|')
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert!(row_of("host   1").contains('\u{b7}'));
+        assert!(!row_of("host   0").contains('\u{b7}'));
+        // Header reports strategy and adaptation count.
+        assert!(art.starts_with("test: 40 s, 1 adaptation(s)"));
+    }
+
+    #[test]
     fn csv_lists_all_spans() {
         let csv = to_csv(&result_with_swap());
         assert!(csv.starts_with("host,start,end\n"));
         assert!(csv.contains("1,0,10"));
         assert!(csv.contains("2,12,40"));
+        // One header + one row per span (hosts 0, 1, 2 → 3 spans).
+        assert_eq!(csv.lines().count(), 4);
     }
 }

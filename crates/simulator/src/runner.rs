@@ -163,17 +163,68 @@ pub fn run_replicated_jobs(
     seeds: &[u64],
     jobs: usize,
 ) -> ReplicatedResult {
+    run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, false).0
+}
+
+/// Like [`run_replicated_jobs`], additionally recording each seed's
+/// event stream. The returned traces are in seed order and carry
+/// *simulated* time only, so they are bit-identical at any `jobs` —
+/// worker scheduling affects neither the events nor their order.
+///
+/// After each run the host load timelines are appended as
+/// [`obs::TraceEvent::LoadChange`] events (clipped to the run's span),
+/// so exporters can show the external load under the compute tracks.
+pub fn run_replicated_traced(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+) -> (ReplicatedResult, Vec<obs::Trace>) {
+    let (result, traces) = run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, true);
+    (result, traces.expect("tracing was requested"))
+}
+
+fn run_replicated_inner(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+    trace: bool,
+) -> (ReplicatedResult, Option<Vec<obs::Trace>>) {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let timed_runs: Vec<(RunResult, f64)> = simkit::par::par_map(seeds, jobs, |_, &seed| {
-        let t0 = std::time::Instant::now();
-        let platform = spec.realize(seed);
-        let ctx = RunContext::new(&platform, app, allocated);
-        let run = strategy.run(&ctx);
-        (run, t0.elapsed().as_secs_f64())
-    });
-    let (runs, seed_wall_secs): (Vec<RunResult>, Vec<f64>) = timed_runs.into_iter().unzip();
+    let timed_runs: Vec<(RunResult, f64, Option<obs::Trace>)> =
+        simkit::par::par_map(seeds, jobs, |_, &seed| {
+            let t0 = std::time::Instant::now();
+            let platform = spec.realize(seed);
+            let mut ctx = RunContext::new(&platform, app, allocated);
+            let collector = trace.then(obs::Collector::new);
+            if let Some(c) = &collector {
+                ctx = ctx.with_trace(c);
+            }
+            let run = strategy.run(&ctx);
+            let trace = collector.map(|c| {
+                let mut t = c.into_trace();
+                append_load_changes(&mut t, &platform, run.execution_time);
+                t
+            });
+            (run, t0.elapsed().as_secs_f64(), trace)
+        });
+    let mut runs = Vec::with_capacity(timed_runs.len());
+    let mut seed_wall_secs = Vec::with_capacity(timed_runs.len());
+    let mut traces = trace.then(Vec::new);
+    for (run, wall, t) in timed_runs {
+        runs.push(run);
+        seed_wall_secs.push(wall);
+        if let (Some(traces), Some(t)) = (&mut traces, t) {
+            traces.push(t);
+        }
+    }
     let times: Vec<f64> = runs.iter().map(|r| r.execution_time).collect();
-    ReplicatedResult {
+    let result = ReplicatedResult {
         strategy: strategy.name(),
         execution_time: summarize(&times),
         mean_adaptations: runs.iter().map(|r| r.adaptations as f64).sum::<f64>()
@@ -181,6 +232,26 @@ pub fn run_replicated_jobs(
         mean_adapt_time: runs.iter().map(|r| r.adapt_time_total).sum::<f64>() / runs.len() as f64,
         runs,
         seed_wall_secs,
+    };
+    (result, traces)
+}
+
+/// Appends the realized external-load breakpoints of every host as
+/// `LoadChange` events, clipped to `[0, horizon_t]`.
+fn append_load_changes(
+    trace: &mut obs::Trace,
+    platform: &crate::platform::Platform,
+    horizon_t: f64,
+) {
+    for (host, h) in platform.hosts.iter().enumerate() {
+        for &(t, competing) in h.cpu.load().points() {
+            if t > horizon_t {
+                break;
+            }
+            trace
+                .events
+                .push(obs::TraceEvent::LoadChange { t, host, competing });
+        }
     }
 }
 
@@ -279,6 +350,51 @@ mod tests {
         let spec = tiny_spec(LoadSpec::Unloaded);
         let r = run_replicated(&spec, &tiny_app(), &Nothing, 2, &[5, 5]);
         assert_eq!(r.execution_time.min, r.execution_time.max);
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_capture_decisions() {
+        use crate::strategies::Swap;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let app = tiny_app();
+        let seeds = default_seeds(4);
+        let plain = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        let (traced, traces) = run_replicated_traced(&spec, &app, &Swap::greedy(), 4, &seeds, 2);
+        // Tracing must not perturb the simulation.
+        assert_eq!(traced.execution_time, plain.execution_time);
+        assert_eq!(traces.len(), seeds.len());
+        for (trace, run) in traces.iter().zip(&traced.runs) {
+            let decisions = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e, obs::TraceEvent::SwapDecision { .. }))
+                .count();
+            // One decision point per iteration boundary.
+            assert_eq!(decisions, app.iterations - 1);
+            let execs = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e, obs::TraceEvent::SwapExec { .. }))
+                .count();
+            assert_eq!(execs, run.adaptations);
+            assert!(trace
+                .events
+                .iter()
+                .any(|e| matches!(e, obs::TraceEvent::LoadChange { .. })));
+        }
+    }
+
+    #[test]
+    fn traces_are_bit_identical_across_jobs() {
+        use crate::strategies::Cr;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let app = tiny_app();
+        let seeds = default_seeds(6);
+        let (_, serial) = run_replicated_traced(&spec, &app, &Cr::greedy(), 4, &seeds, 1);
+        for jobs in [2, 4] {
+            let (_, parallel) = run_replicated_traced(&spec, &app, &Cr::greedy(), 4, &seeds, jobs);
+            assert_eq!(parallel, serial, "jobs {jobs}");
+        }
     }
 
     #[test]

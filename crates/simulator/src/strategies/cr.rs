@@ -81,6 +81,7 @@ impl Strategy for Cr {
 
         for index in 0..app.iterations {
             let out = run_iteration(ctx.platform, app, &active, &work, t);
+            ctx.emit_iteration(index, &active, t, &out);
 
             for (k, &h) in active.iter().enumerate() {
                 histories
@@ -94,6 +95,11 @@ impl Strategy for Cr {
                     .get_mut(&h)
                     .expect("spare host is in pool")
                     .record(out.end, probed);
+                ctx.emit(|| obs::TraceEvent::Probe {
+                    t: out.end,
+                    host: h,
+                    rate: probed,
+                });
             }
 
             let active_during = active.clone();
@@ -112,6 +118,16 @@ impl Strategy for Cr {
                     .collect();
                 // The CR trigger: would the swap criteria fire?
                 let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
+                ctx.emit(|| obs::TraceEvent::SwapDecision {
+                    t: out.end,
+                    iter: index,
+                    old_iter_time: iter_time,
+                    swap_time: engine.cost().swap_time(app.process_state_bytes),
+                    app_improvement: decision.app_improvement,
+                    stopped_because: decision.stopped_because,
+                    admitted: decision.pairs.clone(),
+                    rejected: decision.rejected,
+                });
                 if decision.will_swap() {
                     // Relocate to the N best-predicted processors.
                     let mut ranked: Vec<&ProcessorSnapshot> = snapshots.iter().collect();
@@ -123,6 +139,12 @@ impl Strategy for Cr {
                     active = ranked[..n].iter().map(|s| s.id).collect();
                     adapt_time = cycle_cost;
                     restarts += 1;
+                    ctx.emit(|| obs::TraceEvent::Checkpoint {
+                        t: out.end,
+                        iter: index,
+                        bytes: n as f64 * app.process_state_bytes,
+                        pause_secs: cycle_cost,
+                    });
                 }
             }
 

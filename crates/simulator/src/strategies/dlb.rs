@@ -44,6 +44,7 @@ impl Strategy for Dlb {
                 .collect();
             let work = balanced_partition(total, &speeds);
             let out = run_iteration(ctx.platform, ctx.app, &active, &work, t);
+            ctx.emit_iteration(index, &active, t, &out);
             iterations.push(IterationRecord {
                 index,
                 start: t,

@@ -19,7 +19,7 @@ pub use oracle::Oracle;
 pub use swap::Swap;
 
 use crate::app::AppSpec;
-use crate::exec::RunResult;
+use crate::exec::{IterationOutcome, RunResult};
 use crate::platform::Platform;
 
 /// Everything a strategy needs for one run.
@@ -33,6 +33,9 @@ pub struct RunContext<'a> {
     /// `N + M` (over-allocation); NOTHING and DLB allocate exactly `N`
     /// regardless. Clamped to the platform size.
     pub allocated: usize,
+    /// Optional trace sink. `None` (the default) is the zero-cost path:
+    /// every emission site is one branch on this option.
+    pub trace: Option<&'a dyn obs::TraceSink>,
 }
 
 impl<'a> RunContext<'a> {
@@ -54,7 +57,52 @@ impl<'a> RunContext<'a> {
             platform,
             app,
             allocated: allocated.clamp(app.n_active, platform.hosts.len()),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink; all strategies emit their event stream (in
+    /// simulated time) into it.
+    pub fn with_trace(mut self, sink: &'a dyn obs::TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Emits a lazily-built event when tracing is enabled.
+    pub(crate) fn emit(&self, event: impl FnOnce() -> obs::TraceEvent) {
+        if let Some(sink) = self.trace {
+            sink.emit(event());
+        }
+    }
+
+    /// Emits the standard per-iteration events: iteration start, one
+    /// compute span per active process, iteration end.
+    pub(crate) fn emit_iteration(
+        &self,
+        index: usize,
+        active: &[usize],
+        t0: f64,
+        out: &IterationOutcome,
+    ) {
+        let Some(sink) = self.trace else { return };
+        sink.emit(obs::TraceEvent::IterStart {
+            t: t0,
+            iter: index,
+            active: active.to_vec(),
+        });
+        for (&host, &done) in active.iter().zip(&out.completions) {
+            sink.emit(obs::TraceEvent::ComputeSpan {
+                host,
+                iter: index,
+                start: t0,
+                end: done,
+            });
+        }
+        sink.emit(obs::TraceEvent::IterEnd {
+            t: out.end,
+            iter: index,
+            compute_end: out.compute_end,
+        });
     }
 }
 

@@ -24,6 +24,7 @@ impl Strategy for Nothing {
         let mut iterations = Vec::with_capacity(ctx.app.iterations);
         for index in 0..ctx.app.iterations {
             let out = run_iteration(ctx.platform, ctx.app, &active, &work, t);
+            ctx.emit_iteration(index, &active, t, &out);
             iterations.push(IterationRecord {
                 index,
                 start: t,

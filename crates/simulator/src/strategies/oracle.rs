@@ -57,6 +57,7 @@ impl Strategy for Oracle {
                 moves += active.iter().filter(|h| !prev.contains(h)).count();
             }
             let out = run_iteration(ctx.platform, app, &active, &work, t);
+            ctx.emit_iteration(index, &active, t, &out);
             window = out.end - t;
             iterations.push(IterationRecord {
                 index,

@@ -106,6 +106,7 @@ impl Strategy for Swap {
 
         for index in 0..app.iterations {
             let out = run_iteration(ctx.platform, app, &active, &work, t);
+            ctx.emit_iteration(index, &active, t, &out);
 
             // Measurement: active processes report achieved compute rate;
             // spares are probed over the same window.
@@ -121,6 +122,11 @@ impl Strategy for Swap {
                     .get_mut(&h)
                     .expect("spare host is in pool")
                     .record(out.end, probed);
+                ctx.emit(|| obs::TraceEvent::Probe {
+                    t: out.end,
+                    host: h,
+                    rate: probed,
+                });
             }
 
             let active_during = active.clone();
@@ -141,13 +147,32 @@ impl Strategy for Swap {
                     })
                     .collect();
                 let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
+                ctx.emit(|| obs::TraceEvent::SwapDecision {
+                    t: out.end,
+                    iter: index,
+                    old_iter_time: iter_time,
+                    swap_time: engine.cost().swap_time(app.process_state_bytes),
+                    app_improvement: decision.app_improvement,
+                    stopped_because: decision.stopped_because,
+                    admitted: decision.pairs.clone(),
+                    rejected: decision.rejected,
+                });
                 for pair in &decision.pairs {
                     let slot = active
                         .iter()
                         .position(|&h| h == pair.from)
                         .expect("engine swaps an active host");
                     active[slot] = pair.to;
-                    adapt_time += ctx.platform.link.transfer_time(app.process_state_bytes);
+                    let transfer = ctx.platform.link.transfer_time(app.process_state_bytes);
+                    ctx.emit(|| obs::TraceEvent::SwapExec {
+                        t: out.end + adapt_time,
+                        iter: index,
+                        from: pair.from,
+                        to: pair.to,
+                        bytes: app.process_state_bytes,
+                        transfer_secs: transfer,
+                    });
+                    adapt_time += transfer;
                 }
                 swaps += decision.pairs.len();
             }

@@ -13,6 +13,7 @@
 
 pub use loadmodel;
 pub use minimpi;
+pub use obs;
 pub use simkit;
 pub use simulator;
 pub use swap_core;

@@ -5,7 +5,7 @@
 
 use mpi_swap::loadmodel::OnOffSource;
 use mpi_swap::simulator::platform::{LoadSpec, PlatformSpec};
-use mpi_swap::simulator::runner::run_replicated_jobs;
+use mpi_swap::simulator::runner::{run_replicated_jobs, run_replicated_traced};
 use mpi_swap::simulator::strategies::{Cr, Dlb, Nothing, Strategy, Swap};
 use mpi_swap::simulator::AppSpec;
 use proptest::prelude::*;
@@ -94,4 +94,71 @@ proptest! {
         }
         prop_assert_eq!(parallel.seed_wall_secs.len(), cfg.seeds.len());
     }
+}
+
+/// A fixed traced workload for the determinism checks below: one swap
+/// strategy over enough seeds to exercise the work-stealing scheduler.
+fn traced_bundle(jobs: usize) -> mpi_swap::obs::TraceBundle {
+    let spec = PlatformSpec {
+        n_hosts: 12,
+        speed_range: (1e8, 4e8),
+        link: mpi_swap::simkit::link::SharedLink::hpdc03_lan(),
+        startup_per_process: 0.75,
+        load: LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.08, 20.0)),
+        horizon: 200_000.0,
+    };
+    let app = AppSpec {
+        n_active: 3,
+        iterations: 8,
+        flops_per_proc_iter: 1e9,
+        bytes_per_proc_iter: 1e5,
+        process_state_bytes: 1e6,
+    };
+    let seeds: Vec<u64> = (0..6).collect();
+    let mut bundle = mpi_swap::obs::TraceBundle::new();
+    for (label, strategy) in [
+        ("swap", Box::new(Swap::greedy()) as Box<dyn Strategy>),
+        ("cr", Box::new(Cr::greedy())),
+    ] {
+        let (_, traces) = run_replicated_traced(&spec, &app, strategy.as_ref(), 12, &seeds, jobs);
+        for (seed, trace) in seeds.iter().zip(traces) {
+            bundle.push(label, *seed, trace);
+        }
+    }
+    bundle
+}
+
+/// The exported trace artifacts — not just the in-memory event lists —
+/// must be byte-identical however many workers produced them.
+#[test]
+fn trace_exports_are_byte_identical_across_jobs() {
+    let serial = traced_bundle(1);
+    let two = traced_bundle(2);
+    let many = traced_bundle(4);
+    assert!(serial.event_count() > 0, "workload produced no events");
+    assert_eq!(
+        mpi_swap::obs::jsonl::to_jsonl(&serial),
+        mpi_swap::obs::jsonl::to_jsonl(&two),
+        "JSONL differs between jobs 1 and 2"
+    );
+    assert_eq!(
+        mpi_swap::obs::chrome::to_chrome_trace(&serial),
+        mpi_swap::obs::chrome::to_chrome_trace(&many),
+        "Chrome trace differs between jobs 1 and 4"
+    );
+}
+
+/// Repeated same-seed runs replay the exact same event stream.
+#[test]
+fn trace_exports_are_byte_identical_across_repeated_runs() {
+    let first = traced_bundle(3);
+    let second = traced_bundle(3);
+    assert_eq!(
+        mpi_swap::obs::jsonl::to_jsonl(&first),
+        mpi_swap::obs::jsonl::to_jsonl(&second)
+    );
+    assert_eq!(
+        mpi_swap::obs::chrome::to_chrome_trace(&first),
+        mpi_swap::obs::chrome::to_chrome_trace(&second)
+    );
 }
