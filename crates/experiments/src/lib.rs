@@ -33,6 +33,7 @@ pub mod figures;
 pub mod output;
 pub mod report;
 pub mod scenario;
+pub mod schedule;
 pub mod sweep;
 pub mod timing;
 pub mod tuner;

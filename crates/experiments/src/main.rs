@@ -16,11 +16,12 @@
 //! CSV/JSON payloads are bit-identical at every setting — only the
 //! timing file and wall-clock change.
 
-use experiments::ablations::{ablation_by_id, ALL_ABLATIONS};
-use experiments::extensions::{extension_by_id, ALL_EXTENSIONS};
-use experiments::figures::{by_id, ALL_FIGURES};
-use experiments::report::{render_markdown, run_report};
-use experiments::{FigureData, Scale};
+use experiments::ablations::ALL_ABLATIONS;
+use experiments::extensions::ALL_EXTENSIONS;
+use experiments::figures::ALL_FIGURES;
+use experiments::report::{render_markdown, run_report_timed};
+use experiments::schedule::{self, GeneratedFigure};
+use experiments::Scale;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -91,21 +92,9 @@ fn main() {
             println!("  run       execute a scenario file (swapsim run exp.json)");
             println!("  trace     run a scenario with full tracing (JSONL, Chrome trace, audit)");
         }
-        "all" => {
-            for id in ALL_FIGURES {
-                run_figure(id, &scale, &out_dir);
-            }
-        }
-        "ablations" => {
-            for id in ALL_ABLATIONS {
-                run_figure(id, &scale, &out_dir);
-            }
-        }
-        "extensions" => {
-            for id in ALL_EXTENSIONS {
-                run_figure(id, &scale, &out_dir);
-            }
-        }
+        "all" => run_figures(&ALL_FIGURES, &scale, &out_dir),
+        "ablations" => run_figures(&ALL_ABLATIONS, &scale, &out_dir),
+        "extensions" => run_figures(&ALL_EXTENSIONS, &scale, &out_dir),
         "policy" => {
             // swapsim policy <file.json|--template> [duty] [state_bytes]:
             // evaluate a custom policy (serde JSON of PolicyParams).
@@ -330,23 +319,37 @@ fn main() {
         }
         "report" => {
             let t0 = Instant::now();
-            let checks = run_report(&scale);
+            let (checks, timings) = run_report_timed(&scale);
             let md = render_markdown(&checks);
             std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
             let path = out_dir.join("report.md");
             std::fs::write(&path, &md).expect("cannot write report");
+            // One timing artifact per generated figure, same schema as
+            // the single-figure command writes.
+            for t in timings.iter().filter(|t| !t.points.is_empty()) {
+                let tp = out_dir.join(format!("{}.timing.json", t.id));
+                std::fs::write(
+                    &tp,
+                    serde_json::to_string_pretty(t).expect("timing serializes"),
+                )
+                .expect("cannot write timing JSON");
+            }
             println!("{md}");
+            let elapsed = t0.elapsed().as_secs_f64();
+            let busy: f64 = timings.iter().map(|t| t.busy_secs).sum();
+            let workers = timings.iter().map(|t| t.jobs_effective).max().unwrap_or(1);
             eprintln!(
-                "wrote {} ({:.1}s)",
+                "wrote {} ({} figures through one {workers}-worker queue: busy {busy:.1}s over {elapsed:.1}s wall, global utilization {:.0}%)",
                 path.display(),
-                t0.elapsed().as_secs_f64()
+                timings.len(),
+                100.0 * busy / (workers as f64 * elapsed).max(f64::EPSILON)
             );
         }
         id if ALL_FIGURES.contains(&id)
             || ALL_ABLATIONS.contains(&id)
             || ALL_EXTENSIONS.contains(&id) =>
         {
-            run_figure(id, &scale, &out_dir);
+            run_figures(&[id], &scale, &out_dir);
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -355,46 +358,33 @@ fn main() {
     }
 }
 
-fn run_figure(id: &str, scale: &Scale, out_dir: &Path) {
-    let t0 = Instant::now();
-    experiments::timing::begin(id, scale.jobs, scale.seeds);
-    let fig: FigureData = by_id(id, scale)
-        .or_else(|| ablation_by_id(id, scale))
-        .or_else(|| extension_by_id(id, scale))
-        .unwrap_or_else(|| {
-            eprintln!("unknown figure id '{id}'");
-            std::process::exit(2);
-        });
-    let elapsed = t0.elapsed();
-    let timing = experiments::timing::finish(elapsed.as_secs_f64());
+/// Generates `ids` through the cross-figure scheduler (one shared
+/// worker-pool queue, heaviest figures first) and streams each figure's
+/// artifacts/chart in the given order as results become available.
+fn run_figures(ids: &[&str], scale: &Scale, out_dir: &Path) {
+    schedule::generate_each(ids, scale, |id, generated| {
+        emit_figure(id, generated, out_dir);
+    });
+}
 
-    std::fs::create_dir_all(out_dir).expect("cannot create output directory");
-    let csv_path = out_dir.join(format!("{id}.csv"));
-    std::fs::write(&csv_path, fig.to_csv()).expect("cannot write CSV");
-    let json_path = out_dir.join(format!("{id}.json"));
-    std::fs::write(
-        &json_path,
-        serde_json::to_string_pretty(&fig).expect("figure serializes"),
-    )
-    .expect("cannot write JSON");
-
+fn emit_figure(id: &str, generated: Option<GeneratedFigure>, out_dir: &Path) {
+    let Some(GeneratedFigure { fig, timing }) = generated else {
+        eprintln!("unknown figure id '{id}'");
+        std::process::exit(2);
+    };
+    let artifacts = experiments::output::write_artifacts(out_dir, &fig, Some(&timing));
     println!("{}", fig.to_ascii(72, 20));
     eprintln!(
         "wrote {} and {} ({} series, {:.1}s)",
-        csv_path.display(),
-        json_path.display(),
+        artifacts.csv.display(),
+        artifacts.json.display(),
         fig.series.len(),
-        elapsed.as_secs_f64()
+        timing.elapsed_secs
     );
     // Trace figures (fig1-3) never enter the sweep engine, so their
-    // summaries carry no points — skip the timing file for those.
-    if let Some(t) = timing.filter(|t| !t.points.is_empty()) {
-        let timing_path = out_dir.join(format!("{id}.timing.json"));
-        std::fs::write(
-            &timing_path,
-            serde_json::to_string_pretty(&t).expect("timing serializes"),
-        )
-        .expect("cannot write timing JSON");
+    // summaries carry no points and get no timing file.
+    if let Some(timing_path) = &artifacts.timing {
+        let t = &timing;
         eprintln!(
             "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x, {:.0}% util) -> {}",
             t.points.len(),

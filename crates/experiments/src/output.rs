@@ -1,7 +1,11 @@
-//! Figure data containers, CSV export, and ASCII chart rendering.
+//! Figure data containers, CSV export, ASCII chart rendering, and the
+//! on-disk artifact layout shared by the `swapsim` driver and the
+//! integration tests.
 
+use crate::timing::TimingSummary;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// One named curve of a figure.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -158,6 +162,50 @@ impl FigureData {
     }
 }
 
+/// Paths written by [`write_artifacts`].
+pub struct FigureArtifacts {
+    /// `<id>.csv` — the figure's deterministic payload as CSV.
+    pub csv: PathBuf,
+    /// `<id>.json` — the full [`FigureData`] document.
+    pub json: PathBuf,
+    /// `<id>.timing.json`, when a timing summary with recorded points
+    /// was supplied (the analytic figures never enter the sweep engine,
+    /// so they get no timing file).
+    pub timing: Option<PathBuf>,
+}
+
+/// Writes a figure's on-disk artifacts under `out_dir` (created if
+/// missing): `<id>.csv`, `<id>.json`, and — when `timing` carries sweep
+/// points — `<id>.timing.json`. The CSV/JSON payloads depend only on
+/// the figure data, so they are byte-identical across `--jobs` settings
+/// and across pooled vs per-call execution; only the timing file varies
+/// with the host and scheduling.
+pub fn write_artifacts(
+    out_dir: &Path,
+    fig: &FigureData,
+    timing: Option<&TimingSummary>,
+) -> FigureArtifacts {
+    std::fs::create_dir_all(out_dir).expect("cannot create output directory");
+    let csv = out_dir.join(format!("{}.csv", fig.id));
+    std::fs::write(&csv, fig.to_csv()).expect("cannot write CSV");
+    let json = out_dir.join(format!("{}.json", fig.id));
+    std::fs::write(
+        &json,
+        serde_json::to_string_pretty(fig).expect("figure serializes"),
+    )
+    .expect("cannot write JSON");
+    let timing = timing.filter(|t| !t.points.is_empty()).map(|t| {
+        let path = out_dir.join(format!("{}.timing.json", fig.id));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(t).expect("timing serializes"),
+        )
+        .expect("cannot write timing JSON");
+        path
+    });
+    FigureArtifacts { csv, json, timing }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +273,42 @@ mod tests {
         let f = fig();
         assert!(f.series_named("a").is_some());
         assert!(f.series_named("zzz").is_none());
+    }
+
+    #[test]
+    fn write_artifacts_produces_csv_json_and_optional_timing() {
+        let dir = std::env::temp_dir().join(format!("swapsim-output-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fig();
+
+        // No timing summary at all: payloads only.
+        let a = write_artifacts(&dir, &f, None);
+        assert_eq!(std::fs::read_to_string(&a.csv).unwrap(), f.to_csv());
+        assert!(std::fs::read_to_string(&a.json).unwrap().contains("figX"));
+        assert!(a.timing.is_none());
+
+        // A summary without points (analytic figure): still no file.
+        let empty = crate::timing::Collection::begin("figX", 1, 1).finish(0.1);
+        assert!(write_artifacts(&dir, &f, Some(&empty)).timing.is_none());
+
+        // A summary with points gets `<id>.timing.json`.
+        let col = crate::timing::Collection::begin("figX", 1, 1);
+        col.expect_items(1);
+        col.record(0, "a", 0.0, 0.5, 0);
+        col.record_worker_busy(&[0.5]);
+        let t = col.finish(0.5);
+        let a = write_artifacts(&dir, &f, Some(&t));
+        let tp = a.timing.expect("timing file written");
+        let text = std::fs::read_to_string(&tp).unwrap();
+        for field in [
+            "jobs_effective",
+            "utilization",
+            "wall_secs",
+            "worker",
+            "start_secs",
+        ] {
+            assert!(text.contains(field), "timing JSON missing {field}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

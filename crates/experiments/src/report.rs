@@ -6,9 +6,9 @@
 //! to `results/report.md`.
 
 use crate::config::Scale;
-use crate::extensions::{ext_dlb_swap, ext_pareto, ext_reclamation};
-use crate::figures;
 use crate::output::FigureData;
+use crate::schedule::{self, GeneratedFigure};
+use crate::timing::TimingSummary;
 use loadmodel::stats;
 use serde::{Deserialize, Serialize};
 use simkit::rng::rng;
@@ -37,33 +37,62 @@ fn check(id: &str, claim: &str, measured: String, pass: bool) -> Check {
 }
 
 /// Best (max) fractional improvement of `series` over `baseline` across
-/// the sweep, with the x where it happens.
-fn best_benefit(fig: &FigureData, series: &str, baseline: &str) -> (f64, f64) {
+/// the sweep, with the x where it happens. `None` when no sweep point is
+/// comparable (see [`best_benefit_where`]).
+fn best_benefit(fig: &FigureData, series: &str, baseline: &str) -> Option<(f64, f64)> {
     best_benefit_where(fig, series, baseline, |_| true)
 }
 
 /// Like [`best_benefit`] but restricted to sweep points whose x satisfies
-/// the predicate (e.g. "moderately dynamic only").
+/// the predicate (e.g. "moderately dynamic only"). Returns `None` when no
+/// sweep point qualifies: either the predicate matched nothing, or every
+/// matching point has a zero baseline (a ratio against it would be
+/// meaningless, not a measured benefit).
 fn best_benefit_where(
     fig: &FigureData,
     series: &str,
     baseline: &str,
     keep: impl Fn(f64) -> bool,
-) -> (f64, f64) {
+) -> Option<(f64, f64)> {
     let s = fig.series_named(series).expect("series exists");
     let b = fig.series_named(baseline).expect("baseline exists");
     s.points
         .iter()
         .zip(&b.points)
-        .filter(|(&(x, _), _)| keep(x))
+        .filter(|(&(x, _), &(_, yb))| keep(x) && yb != 0.0)
         .map(|(&(x, ys), &(_, yb))| (1.0 - ys / yb, x))
-        .fold((f64::NEG_INFINITY, 0.0), |acc, (ben, x)| {
-            if ben > acc.0 {
-                (ben, x)
-            } else {
-                acc
-            }
+        .fold(None, |acc: Option<(f64, f64)>, (ben, x)| match acc {
+            Some((best, _)) if best >= ben => acc,
+            _ => Some((ben, x)),
         })
+}
+
+/// [`best_benefit`] for checks that require the comparison to exist:
+/// every report figure sweeps a non-degenerate makespan baseline, so an
+/// empty comparison is a generator bug worth a loud failure.
+fn benefit(fig: &FigureData, series: &str, baseline: &str) -> (f64, f64) {
+    best_benefit(fig, series, baseline).unwrap_or_else(|| {
+        panic!(
+            "{}: no comparable sweep point for {series} vs {baseline}",
+            fig.id
+        )
+    })
+}
+
+/// [`best_benefit_where`] with the same must-exist contract as
+/// [`benefit`].
+fn benefit_where(
+    fig: &FigureData,
+    series: &str,
+    baseline: &str,
+    keep: impl Fn(f64) -> bool,
+) -> (f64, f64) {
+    best_benefit_where(fig, series, baseline, keep).unwrap_or_else(|| {
+        panic!(
+            "{}: no comparable sweep point for {series} vs {baseline} under predicate",
+            fig.id
+        )
+    })
 }
 
 /// y of `series` at the last sweep point.
@@ -72,9 +101,46 @@ fn last_y(fig: &FigureData, series: &str) -> f64 {
     s.points.last().expect("non-empty").1
 }
 
+/// The figure ids the report generates, in check order. All of them go
+/// through the cross-figure scheduler as one global work queue.
+pub const REPORT_FIGURES: [&str; 10] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ext_reclamation",
+    "ext_dlb_swap",
+    "ext_granularity",
+    "ext_pareto",
+];
+
 /// Runs every check at the given scale. Expensive figures are generated
-/// once and reused across their checks.
+/// once — all through one shared worker-pool queue ([`schedule`]) — and
+/// reused across their checks.
 pub fn run_report(scale: &Scale) -> Vec<Check> {
+    run_report_timed(scale).0
+}
+
+/// [`run_report`] plus the per-figure timing summaries from the shared
+/// queue, in [`REPORT_FIGURES`] order (for `<id>.timing.json` artifacts
+/// and the driver's utilization line). The checks are byte-identical to
+/// [`run_report`]'s regardless of `scale.jobs`.
+pub fn run_report_timed(scale: &Scale) -> (Vec<Check>, Vec<TimingSummary>) {
+    let generated: Vec<GeneratedFigure> = schedule::generate_set(&REPORT_FIGURES, scale)
+        .into_iter()
+        .map(|g| g.expect("every REPORT_FIGURES id resolves to a generator"))
+        .collect();
+    let timings: Vec<TimingSummary> = generated.iter().map(|g| g.timing.clone()).collect();
+    let fig = |id: &str| -> &FigureData {
+        let i = REPORT_FIGURES
+            .iter()
+            .position(|&f| f == id)
+            .expect("id listed in REPORT_FIGURES");
+        &generated[i].fig
+    };
+
     let mut checks = Vec::new();
 
     // --- Fig 1: the payback algebra's worked examples -----------------
@@ -116,10 +182,10 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
 
     // --- Fig 4 ----------------------------------------------------------
-    let fig4 = figures::fig4_techniques_vs_dynamism(scale);
-    let (swap_ben, swap_at) = best_benefit(&fig4, "swap", "nothing");
-    let (dlb_ben, _) = best_benefit(&fig4, "dlb", "nothing");
-    let (cr_ben, _) = best_benefit(&fig4, "cr", "nothing");
+    let fig4 = fig("fig4");
+    let (swap_ben, swap_at) = benefit(fig4, "swap", "nothing");
+    let (dlb_ben, _) = benefit(fig4, "dlb", "nothing");
+    let (cr_ben, _) = benefit(fig4, "cr", "nothing");
     checks.push(check(
         "fig4",
         "in moderately dynamic environments DLB, CR and SWAP beat NOTHING (up to 40%)",
@@ -133,7 +199,7 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
     let nothing0 = fig4.series_named("nothing").expect("series").y(0);
     let swap0 = fig4.series_named("swap").expect("series").y(0);
-    let edge_ben = 1.0 - last_y(&fig4, "swap") / last_y(&fig4, "nothing");
+    let edge_ben = 1.0 - last_y(fig4, "swap") / last_y(fig4, "nothing");
     checks.push(check(
         "fig4b",
         "little difference in quiescent environments; techniques converge in chaos",
@@ -147,7 +213,7 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
 
     // --- Fig 5 ----------------------------------------------------------
-    let fig5 = figures::fig5_overallocation(scale);
+    let fig5 = fig("fig5");
     let swap5 = fig5.series_named("swap").expect("series");
     let first = swap5.y(0);
     let last = swap5.points.last().expect("non-empty").1;
@@ -162,8 +228,8 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
 
     // --- Fig 6 ----------------------------------------------------------
-    let fig6 = figures::fig6_process_size(scale);
-    let (ben_small, _) = best_benefit(&fig6, "swap 1MB", "nothing");
+    let fig6 = fig("fig6");
+    let (ben_small, _) = benefit(fig6, "swap 1MB", "nothing");
     // "Harmful": somewhere on the sweep, 1 GB swapping is clearly worse
     // than doing nothing.
     let harm_large = fig6
@@ -190,12 +256,12 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     // maximum 40% performance increase … in more chaotic situations the
     // safe policy outperforms the greedy policy." Compare the policies in
     // the moderate region (duty ≤ 0.45) and at the chaotic edge.
-    let fig7 = figures::fig7_policies(scale);
+    let fig7 = fig("fig7");
     let moderate = |x: f64| x <= 0.45;
-    let (greedy_ben, _) = best_benefit_where(&fig7, "greedy", "nothing", moderate);
-    let (safe_ben, _) = best_benefit_where(&fig7, "safe", "nothing", moderate);
-    let greedy_edge = last_y(&fig7, "greedy");
-    let safe_edge = last_y(&fig7, "safe");
+    let (greedy_ben, _) = benefit_where(fig7, "greedy", "nothing", moderate);
+    let (safe_ben, _) = benefit_where(fig7, "safe", "nothing", moderate);
+    let greedy_edge = last_y(fig7, "greedy");
+    let safe_edge = last_y(fig7, "safe");
     checks.push(check(
         "fig7",
         "greedy gives the largest boost in moderate dynamism; safe outperforms greedy in chaos",
@@ -208,10 +274,10 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
 
     // --- Fig 8 ----------------------------------------------------------
-    let fig8 = figures::fig8_policies_large_state(scale);
-    let g8 = last_y(&fig8, "greedy");
-    let s8 = last_y(&fig8, "safe");
-    let n8 = last_y(&fig8, "nothing");
+    let fig8 = fig("fig8");
+    let g8 = last_y(fig8, "greedy");
+    let s8 = last_y(fig8, "safe");
+    let n8 = last_y(fig8, "nothing");
     checks.push(check(
         "fig8",
         "when process state is 1GB only the safe policy is appropriate",
@@ -223,8 +289,8 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
 
     // --- Fig 9 ----------------------------------------------------------
-    let fig9 = figures::fig9_hyperexp(scale);
-    let (ben9, at9) = best_benefit(&fig9, "swap", "nothing");
+    let fig9 = fig("fig9");
+    let (ben9, at9) = benefit(fig9, "swap", "nothing");
     checks.push(check(
         "fig9",
         "swapping remains viable under the hyperexponential (heavy-tailed) load model",
@@ -236,9 +302,9 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     ));
 
     // --- Extensions ------------------------------------------------------
-    let extr = ext_reclamation(scale);
-    let (ben_r, _) = best_benefit(&extr, "swap", "nothing");
-    let (ben_cr, _) = best_benefit(&extr, "cr", "nothing");
+    let extr = fig("ext_reclamation");
+    let (ben_r, _) = benefit(extr, "swap", "nothing");
+    let (ben_cr, _) = benefit(extr, "cr", "nothing");
     checks.push(check(
         "ext_reclamation",
         "(§2, built out) migration escapes desktop-grid owner reclamation",
@@ -250,10 +316,10 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
         ben_r > 0.25 && ben_cr > 0.20,
     ));
 
-    let exth = ext_dlb_swap(scale);
-    let (ben_h, _) = best_benefit(&exth, "dlb+swap", "nothing");
-    let (ben_s, _) = best_benefit(&exth, "swap", "nothing");
-    let (ben_d, _) = best_benefit(&exth, "dlb", "nothing");
+    let exth = fig("ext_dlb_swap");
+    let (ben_h, _) = benefit(exth, "dlb+swap", "nothing");
+    let (ben_s, _) = benefit(exth, "swap", "nothing");
+    let (ben_d, _) = benefit(exth, "dlb", "nothing");
     checks.push(check(
         "ext_dlb_swap",
         "(§2, built out) DLB with over-allocated swapping beats either alone",
@@ -266,7 +332,7 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
         ben_h >= ben_s * 0.95 && ben_h >= ben_d * 0.95,
     ));
 
-    let extg = crate::extensions::ext_granularity(scale);
+    let extg = fig("ext_granularity");
     let g = extg.series_named("greedy").expect("series");
     let s = extg.series_named("safe").expect("series");
     let g_fine = g.y(0);
@@ -281,8 +347,8 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
         g_coarse > 5.0 && g_fine < g_coarse && s_fine > g_fine,
     ));
 
-    let extp = ext_pareto(scale);
-    let (ben_p, at_p) = best_benefit(&extp, "swap", "nothing");
+    let extp = fig("ext_pareto");
+    let (ben_p, at_p) = benefit(extp, "swap", "nothing");
     checks.push(check(
         "ext_pareto",
         "(beyond the paper) conclusions survive a power-law (α=1.1) lifetime tail",
@@ -293,7 +359,7 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
         ben_p > 0.15,
     ));
 
-    checks
+    (checks, timings)
 }
 
 /// Renders the checks as a Markdown table with a pass/fail summary.
@@ -349,6 +415,54 @@ mod tests {
             failed.len() <= 2,
             "too many failures at small scale: {failed:#?}"
         );
+    }
+
+    #[test]
+    fn best_benefit_is_none_when_predicate_matches_nothing() {
+        let fig = FigureData {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                crate::output::Series::new("s", vec![(0.0, 1.0), (1.0, 2.0)]),
+                crate::output::Series::new("base", vec![(0.0, 2.0), (1.0, 2.0)]),
+            ],
+        };
+        // Regression: this used to fold from NEG_INFINITY and hand back
+        // (-inf, 0.0) as if it were a measurement.
+        assert_eq!(best_benefit_where(&fig, "s", "base", |x| x > 10.0), None);
+        let (ben, at) = best_benefit(&fig, "s", "base").expect("points exist");
+        assert!((ben - 0.5).abs() < 1e-12);
+        assert_eq!(at, 0.0);
+    }
+
+    #[test]
+    fn best_benefit_skips_zero_baseline_points() {
+        let fig = FigureData {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                crate::output::Series::new("s", vec![(0.0, 1.0), (1.0, 1.0)]),
+                crate::output::Series::new("base", vec![(0.0, 0.0), (1.0, 4.0)]),
+            ],
+        };
+        // The x=0 point divides by a zero baseline; it must be skipped,
+        // not reported as -inf/NaN benefit.
+        let (ben, at) = best_benefit(&fig, "s", "base").expect("x=1 qualifies");
+        assert!((ben - 0.75).abs() < 1e-12);
+        assert_eq!(at, 1.0);
+        // All-zero baseline: nothing comparable at all.
+        let all_zero = FigureData {
+            series: vec![
+                crate::output::Series::new("s", vec![(0.0, 1.0)]),
+                crate::output::Series::new("base", vec![(0.0, 0.0)]),
+            ],
+            ..fig
+        };
+        assert_eq!(best_benefit(&all_zero, "s", "base"), None);
     }
 
     #[test]

@@ -3,13 +3,18 @@
 //! A figure is a grid: a few series (strategies, configurations) times a
 //! few sweep points, each cell an independent replicated simulation.
 //! [`grid_sweep`] flattens that grid into one work list and fans it out
-//! over worker threads with [`simkit::par::par_map`], so an entire
-//! figure — not just one cell's seeds — saturates the machine.
+//! over worker threads, so an entire figure — not just one cell's seeds
+//! — saturates the machine. When a [`simkit::pool`] worker pool is
+//! installed on the calling thread (the cross-figure scheduler does
+//! this), the work items go to the pool's shared queue instead of
+//! per-call worker threads; otherwise [`simkit::par::par_map_stats`]
+//! spawns workers for this sweep alone.
 //!
 //! Determinism: each cell is a pure function of `(series, x)` (every
 //! replication inside realizes its platform from its own seed), and
 //! results are reassembled in grid order, so the produced
-//! [`Series`] are **bit-identical** for every `jobs` setting.
+//! [`Series`] are **bit-identical** for every `jobs` setting and for
+//! pooled vs per-call execution.
 
 use crate::config::Scale;
 use crate::output::Series;
@@ -17,13 +22,13 @@ use crate::timing;
 use std::time::Instant;
 
 /// Evaluates `eval(series_def, x)` for every cell of the
-/// `series_defs` × `xs` grid, using the scale's `jobs` worker threads,
-/// and returns one [`Series`] per definition (named by `name_of`, points
-/// in `xs` order).
+/// `series_defs` × `xs` grid, using the scale's `jobs` worker threads
+/// (or the installed worker pool), and returns one [`Series`] per
+/// definition (named by `name_of`, points in `xs` order).
 ///
-/// While a [`timing`] collection is active, each completed cell is
-/// recorded and reported as a progress line; otherwise the sweep is
-/// silent.
+/// While a [`timing`] collection is active on the calling thread, each
+/// completed cell is recorded — with the worker slot that ran it — and
+/// reported as a progress line; otherwise the sweep is silent.
 pub fn grid_sweep<S: Sync>(
     scale: &Scale,
     series_defs: &[S],
@@ -34,15 +39,25 @@ pub fn grid_sweep<S: Sync>(
     let items: Vec<(usize, usize)> = (0..series_defs.len())
         .flat_map(|si| (0..xs.len()).map(move |xi| (si, xi)))
         .collect();
-    timing::expect_items(items.len());
+    // The collection handle is captured by the worker closure: workers
+    // may run on pool threads that have no activation of their own.
+    let col = timing::current();
+    if let Some(c) = &col {
+        c.expect_items(items.len());
+    }
     let names: Vec<String> = series_defs.iter().map(&name_of).collect();
-    let (ys, stats) = simkit::par::par_map_stats(&items, scale.jobs, |idx, &(si, xi)| {
+    let (ys, stats) = simkit::pool::map_stats_installed(&items, scale.jobs, |idx, &(si, xi)| {
         let t0 = Instant::now();
         let y = eval(&series_defs[si], xs[xi]);
-        timing::record(idx, &names[si], xs[xi], t0.elapsed().as_secs_f64());
+        if let Some(c) = &col {
+            let worker = simkit::par::worker_slot().unwrap_or(0);
+            c.record(idx, &names[si], xs[xi], t0.elapsed().as_secs_f64(), worker);
+        }
         y
     });
-    timing::record_worker_busy(&stats.worker_busy_secs);
+    if let Some(c) = &col {
+        c.record_worker_busy(&stats.worker_busy_secs);
+    }
     names
         .into_iter()
         .enumerate()
@@ -70,21 +85,30 @@ pub fn item_sweep<T: Sync, R: Send>(
     x_of: impl Fn(&T) -> f64,
     eval: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
-    timing::expect_items(items.len());
+    let col = timing::current();
+    if let Some(c) = &col {
+        c.expect_items(items.len());
+    }
     let xs: Vec<f64> = items.iter().map(&x_of).collect();
-    let (ys, stats) = simkit::par::par_map_stats(items, scale.jobs, |idx, item| {
+    let (ys, stats) = simkit::pool::map_stats_installed(items, scale.jobs, |idx, item| {
         let t0 = Instant::now();
         let y = eval(item);
-        timing::record(idx, label, xs[idx], t0.elapsed().as_secs_f64());
+        if let Some(c) = &col {
+            let worker = simkit::par::worker_slot().unwrap_or(0);
+            c.record(idx, label, xs[idx], t0.elapsed().as_secs_f64(), worker);
+        }
         y
     });
-    timing::record_worker_busy(&stats.worker_busy_secs);
+    if let Some(c) = &col {
+        c.record_worker_busy(&stats.worker_busy_secs);
+    }
     ys
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn scale_with_jobs(jobs: usize) -> Scale {
         Scale {
@@ -125,9 +149,55 @@ mod tests {
     }
 
     #[test]
+    fn grid_sweep_through_installed_pool_matches_per_call_path() {
+        let defs = [2.0f64, 3.0];
+        let xs = [0.0, 1.0, 2.0];
+        let direct = grid_sweep(
+            &scale_with_jobs(1),
+            &defs,
+            &xs,
+            |k| format!("k{k}"),
+            |&k, x| k * x - 1.0,
+        );
+        let pool = Arc::new(simkit::pool::WorkerPool::new(2));
+        let _g = simkit::pool::install(&pool, 0);
+        let pooled = grid_sweep(
+            &scale_with_jobs(4),
+            &defs,
+            &xs,
+            |k| format!("k{k}"),
+            |&k, x| k * x - 1.0,
+        );
+        for (d, p) in direct.iter().zip(&pooled) {
+            assert_eq!(d.name, p.name);
+            assert_eq!(d.points, p.points);
+        }
+    }
+
+    #[test]
     fn item_sweep_preserves_order() {
         let xs = [3.0f64, 1.0, 2.0];
         let ys = item_sweep(&scale_with_jobs(3), "t", &xs, |&x| x, |&x| (x * 10.0, x));
         assert_eq!(ys, vec![(30.0, 3.0), (10.0, 1.0), (20.0, 2.0)]);
+    }
+
+    #[test]
+    fn sweeps_record_into_the_active_collection_with_worker_slots() {
+        let col = timing::Collection::begin("sweep-test", 2, 1);
+        let _g = timing::activate(&col);
+        let defs = [1.0f64, 2.0];
+        let xs = [0.0, 1.0];
+        grid_sweep(
+            &scale_with_jobs(2),
+            &defs,
+            &xs,
+            |k| format!("k{k}"),
+            |&k, x| k + x,
+        );
+        drop(_g);
+        let s = col.finish(0.01);
+        assert_eq!(s.points.len(), 4);
+        assert_eq!(s.jobs_effective, 2);
+        assert!(s.points.iter().all(|p| p.worker < s.worker_busy_secs.len()));
     }
 }

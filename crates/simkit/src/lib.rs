@@ -18,7 +18,11 @@
 //! * seeded **RNG plumbing** ([`rng`]) so every simulation is reproducible,
 //! * a deterministic **parallel map** ([`par::par_map`]) used by the
 //!   experiment engine to fan replications out over worker threads
-//!   without perturbing results.
+//!   without perturbing results,
+//! * a persistent **worker pool** ([`pool::WorkerPool`]) serving one
+//!   priority-ordered work queue, so many sweeps — even from concurrent
+//!   figures — share a single set of workers with no per-sweep spawn
+//!   cost or barrier.
 //!
 //! Everything is pure, single-threaded and deterministic: the same seed and
 //! parameters always produce bit-identical results, which is what makes the
@@ -32,6 +36,7 @@ pub mod engine;
 pub mod event;
 pub mod link;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod time;
 pub mod timeline;

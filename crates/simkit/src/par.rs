@@ -8,6 +8,7 @@
 //! workers. Only the *wall-clock* changes with `jobs`.
 
 use crossbeam::channel;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a `--jobs` style knob: `0` means "use all available
@@ -19,6 +20,38 @@ pub fn effective_jobs(jobs: usize) -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    static WORKER_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The caller's worker-slot index when running inside a mapped function:
+/// `Some(slot)` on a [`par_map`]/[`par_map_stats`] worker thread, on a
+/// [`crate::pool::WorkerPool`] worker, or on the serial fallback path
+/// (slot 0); `None` on ordinary threads. Slots index into
+/// [`ParStats::worker_busy_secs`], so per-item instrumentation (e.g. the
+/// experiment timing layer) can attribute work to the worker that ran it.
+pub fn worker_slot() -> Option<usize> {
+    WORKER_SLOT.with(Cell::get)
+}
+
+/// Marks the current thread as worker `slot` until the guard drops,
+/// restoring whatever was set before (nested serial maps inside a pool
+/// worker must not clobber the pool's slot).
+pub(crate) fn enter_worker_slot(slot: usize) -> WorkerSlotGuard {
+    let prev = WORKER_SLOT.with(|c| c.replace(Some(slot)));
+    WorkerSlotGuard { prev }
+}
+
+pub(crate) struct WorkerSlotGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for WorkerSlotGuard {
+    fn drop(&mut self) {
+        WORKER_SLOT.with(|c| c.set(self.prev));
+    }
 }
 
 /// Per-run accounting from [`par_map_stats`]: how much wall time each
@@ -74,6 +107,7 @@ where
 {
     let jobs = effective_jobs(jobs).min(items.len().max(1));
     if jobs <= 1 {
+        let _slot = enter_worker_slot(0);
         let t0 = std::time::Instant::now();
         let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         let stats = ParStats {
@@ -86,11 +120,12 @@ where
     let (tx, rx) = channel::unbounded::<(usize, R)>();
     let (slots, stats) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
+            .map(|w| {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let f = &f;
                 scope.spawn(move || {
+                    let _slot = enter_worker_slot(w);
                     let mut busy = 0.0f64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -196,6 +231,23 @@ mod tests {
         assert_eq!(stats.worker_busy_secs.len(), 1);
         let (_, stats) = par_map_stats(&[] as &[u8], 4, |_, &x| x);
         assert_eq!(stats.worker_busy_secs.len(), 1);
+    }
+
+    #[test]
+    fn worker_slot_is_visible_inside_f_and_cleared_outside() {
+        assert_eq!(worker_slot(), None);
+        let items: Vec<usize> = (0..8).collect();
+        // Serial path: slot 0.
+        let slots = par_map(&items, 1, |_, _| worker_slot());
+        assert!(slots.iter().all(|&s| s == Some(0)));
+        assert_eq!(worker_slot(), None, "serial path must restore the slot");
+        // Parallel path: slots index the spawned workers.
+        let (slots, stats) = par_map_stats(&items, 3, |_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            worker_slot().expect("inside a worker")
+        });
+        assert!(slots.iter().all(|&s| s < stats.worker_busy_secs.len()));
+        assert_eq!(worker_slot(), None);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! A persistent worker pool serving one global, priority-ordered work
+//! queue.
+//!
+//! [`crate::par::par_map`] spawns worker threads and a result channel per
+//! call. That is fine for one long sweep, but it has two costs the
+//! experiment engine now cares about:
+//!
+//! 1. **Per-call overhead.** The ablation and extension studies run many
+//!    small sweeps back to back; respawning workers for each one pays the
+//!    thread-spawn + channel price every time (see the `par_pool` bench
+//!    group).
+//! 2. **Per-sweep barriers.** Every `par_map` call joins its workers
+//!    before returning, so when one figure's sweep drains down to a
+//!    straggler item the remaining workers idle instead of starting the
+//!    next figure.
+//!
+//! [`WorkerPool`] fixes both: it spawns its workers once and serves every
+//! submitted batch from a single queue. Batches submitted concurrently
+//! from several threads interleave item-by-item — the cross-figure
+//! scheduler in `experiments` runs each figure generator on its own
+//! thread against one shared pool, so all figures' work items compete for
+//! the same workers and no worker waits at a per-figure barrier.
+//!
+//! Batches are served lowest `priority` value first (FIFO among equal
+//! priorities); items within a batch are claimed in index order. A
+//! scheduler that assigns low priority values to its longest figures gets
+//! longest-figure-first service, which minimizes the straggler tail.
+//!
+//! Determinism is preserved exactly as in `par_map`: `f` must be a pure
+//! function of `(index, item)` and every result lands in a pre-indexed
+//! slot, so the output vector is bit-identical to the serial run no
+//! matter how items interleave with other batches.
+
+use crate::par::{self, ParStats};
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A type-erased "run item `i` of this batch" function. The referent
+/// lives on the submitting thread's stack; see the safety contract in
+/// [`WorkerPool::map_stats`].
+type RunFn = &'static (dyn Fn(usize) + Sync);
+
+/// Completion hand-off between a batch's submitter and the workers.
+#[derive(Default)]
+struct BatchDone {
+    finished: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// One live batch; all mutable fields are guarded by the pool's state
+/// mutex.
+struct BatchEntry {
+    seq: u64,
+    priority: u64,
+    len: usize,
+    /// Next unclaimed item index (`len` once exhausted or cancelled).
+    next: usize,
+    /// Items currently executing on workers.
+    inflight: usize,
+    run: RunFn,
+    done: Arc<BatchDone>,
+}
+
+struct State {
+    queue: Vec<BatchEntry>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new work or shutdown.
+    work_cv: Condvar,
+    /// Signals submitters: a batch may have completed.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of worker threads with a shared, priority-ordered
+/// work queue. Create once, submit many batches (from any number of
+/// threads), drop to shut down.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `effective_jobs(jobs)` workers (`0` = all available
+    /// parallelism). The workers live until the pool is dropped.
+    pub fn new(jobs: usize) -> Self {
+        let workers = par::effective_jobs(jobs);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads this pool spawned.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the pool's workers, returning results in
+    /// item order plus per-worker busy time ([`ParStats`], one entry per
+    /// pool worker — idle workers report `0.0`). Blocks the calling
+    /// thread until the batch completes; the workers meanwhile also serve
+    /// any other batch in the queue, lowest `priority` first.
+    ///
+    /// `f` receives `(index, &item)` and must be a pure function of them
+    /// for the determinism guarantee to hold.
+    ///
+    /// # Panics
+    /// Propagates the first panic raised by `f` (remaining unclaimed
+    /// items of the batch are cancelled).
+    pub fn map_stats<T, R, F>(&self, priority: u64, items: &[T], f: F) -> (Vec<R>, ParStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return (
+                Vec::new(),
+                ParStats {
+                    worker_busy_secs: vec![0.0; self.workers],
+                },
+            );
+        }
+
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let busy: Vec<Mutex<f64>> = (0..self.workers).map(|_| Mutex::new(0.0)).collect();
+        let run = |i: usize| {
+            let slot = par::worker_slot().expect("pool workers carry a slot");
+            let t0 = Instant::now();
+            let out = f(i, &items[i]);
+            let secs = t0.elapsed().as_secs_f64();
+            *busy[slot].lock().expect("busy slot lock") += secs;
+            *slots[i].lock().expect("result slot lock") = Some(out);
+        };
+        let run_ref: &(dyn Fn(usize) + Sync) = &run;
+        // SAFETY: the queue entry holds this reference only until the
+        // batch completes (every claimed item finished and no item left
+        // to claim), the completing worker removes the entry before
+        // signalling, and this function does not return — normally or by
+        // unwinding — until `done.finished` is set. The referent
+        // (`run`, and transitively `items`, `f`, `slots`, `busy`)
+        // therefore outlives every use from the worker threads.
+        let run_static: RunFn = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(run_ref)
+        };
+
+        let done = Arc::new(BatchDone::default());
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            assert!(!st.shutdown, "WorkerPool used after shutdown");
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.queue.push(BatchEntry {
+                seq,
+                priority,
+                len: n,
+                next: 0,
+                inflight: 0,
+                run: run_static,
+                done: Arc::clone(&done),
+            });
+            self.shared.work_cv.notify_all();
+        }
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            while !done.finished.load(Ordering::Acquire) {
+                st = self.shared.done_cv.wait(st).expect("pool done wait");
+            }
+        }
+        if let Some(payload) = done.panic.lock().expect("panic slot lock").take() {
+            resume_unwind(payload);
+        }
+
+        let out = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot lock")
+                    .expect("worker completed every item")
+            })
+            .collect();
+        let stats = ParStats {
+            worker_busy_secs: busy
+                .into_iter()
+                .map(|m| m.into_inner().expect("busy slot lock"))
+                .collect(),
+        };
+        (out, stats)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Index of the open batch a worker should serve next: lowest priority
+/// value, then submission order.
+fn best_open_batch(st: &State) -> Option<usize> {
+    st.queue
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.next < e.len)
+        .min_by_key(|(_, e)| (e.priority, e.seq))
+        .map(|(i, _)| i)
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    let _slot = par::enter_worker_slot(slot);
+    loop {
+        let (seq, run, item) = {
+            let mut st = shared.state.lock().expect("pool state lock");
+            loop {
+                if let Some(idx) = best_open_batch(&st) {
+                    let e = &mut st.queue[idx];
+                    let item = e.next;
+                    e.next += 1;
+                    e.inflight += 1;
+                    break (e.seq, e.run, item);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_cv.wait(st).expect("pool work wait");
+            }
+        };
+
+        let result = catch_unwind(AssertUnwindSafe(|| run(item)));
+
+        let mut st = shared.state.lock().expect("pool state lock");
+        let idx = st
+            .queue
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("batch entry stays queued while items are in flight");
+        let e = &mut st.queue[idx];
+        e.inflight -= 1;
+        if let Err(payload) = result {
+            let mut p = e.done.panic.lock().expect("panic slot lock");
+            if p.is_none() {
+                *p = Some(payload);
+            }
+            // Cancel the batch's unclaimed items; in-flight ones finish.
+            e.next = e.len;
+        }
+        if e.next >= e.len && e.inflight == 0 {
+            e.done.finished.store(true, Ordering::Release);
+            st.queue.remove(idx);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local pool installation
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static INSTALLED: RefCell<Vec<(Arc<WorkerPool>, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`install`]; uninstalls the pool from the current
+/// thread when dropped.
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Installs `pool` (with the given batch priority) as the current
+/// thread's pool until the guard drops. While installed,
+/// [`map_stats_installed`] routes work to this pool instead of spawning
+/// per-call workers, which is how the sweep engine picks up the
+/// cross-figure queue without threading a pool parameter through every
+/// figure generator. Installations nest; the innermost wins.
+pub fn install(pool: &Arc<WorkerPool>, priority: u64) -> InstallGuard {
+    INSTALLED.with(|s| s.borrow_mut().push((Arc::clone(pool), priority)));
+    InstallGuard { _priv: () }
+}
+
+/// The pool installed on the current thread, if any, with its priority.
+pub fn installed() -> Option<(Arc<WorkerPool>, u64)> {
+    INSTALLED.with(|s| s.borrow().last().cloned())
+}
+
+/// Maps `f` over `items` on the thread's installed pool, or falls back
+/// to [`par::par_map_stats`] with `jobs` per-call workers when no pool is
+/// installed. Results are bit-identical either way; only scheduling and
+/// the busy-time attribution (pool workers vs per-call workers) differ.
+pub fn map_stats_installed<T, R, F>(items: &[T], jobs: usize, f: F) -> (Vec<R>, ParStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match installed() {
+        Some((pool, priority)) => pool.map_stats(priority, items, f),
+        None => par::par_map_stats(items, jobs, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_serial_map_exactly() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for _ in 0..3 {
+            let (out, stats) = pool.map_stats(0, &items, |_, &x| x * x + 1);
+            assert_eq!(out, serial);
+            assert_eq!(stats.worker_busy_secs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        let (out, stats) = pool.map_stats(0, &[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.worker_busy_secs, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_batches_share_the_workers_and_stay_ordered() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let outs: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|b| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || {
+                        let items: Vec<usize> = (0..32).collect();
+                        pool.map_stats(b as u64, &items, |i, _| {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            i + 1000 * b
+                        })
+                        .0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (b, out) in outs.iter().enumerate() {
+            let expect: Vec<usize> = (0..32).map(|i| i + 1000 * b).collect();
+            assert_eq!(out, &expect, "batch {b}");
+        }
+    }
+
+    #[test]
+    fn lower_priority_value_runs_first() {
+        // One worker; a held gate item lets us queue two batches, then
+        // observe which one the worker picks after the gate clears.
+        let pool = Arc::new(WorkerPool::new(1));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        std::thread::scope(|s| {
+            let gate = {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    pool.map_stats(0, &[0u8], |_, _| {
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    })
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let lo = {
+                let (pool, order) = (Arc::clone(&pool), Arc::clone(&order));
+                s.spawn(move || pool.map_stats(5, &[0u8], |_, _| order.lock().unwrap().push("lo")))
+            };
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let hi = {
+                let (pool, order) = (Arc::clone(&pool), Arc::clone(&order));
+                s.spawn(move || pool.map_stats(1, &[0u8], |_, _| order.lock().unwrap().push("hi")))
+            };
+            gate.join().unwrap();
+            lo.join().unwrap();
+            hi.join().unwrap();
+        });
+        // "hi" (priority 1) was submitted later but must run before
+        // "lo" (priority 5).
+        assert_eq!(*order.lock().unwrap(), vec!["hi", "lo"]);
+    }
+
+    #[test]
+    fn busy_time_lands_on_the_worker_that_ran_the_item() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u64> = (0..8).collect();
+        let (_, stats) = pool.map_stats(0, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            x
+        });
+        assert_eq!(stats.worker_busy_secs.len(), 2);
+        assert!(stats.busy_secs() >= 8.0 * 0.005, "{stats:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn item_panic_propagates_to_the_submitter() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u32> = (0..16).collect();
+        let _ = pool.map_stats(0, &items, |i, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let ran = AtomicUsize::new(0);
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_stats(0, &[0u8, 1, 2, 3], |i, _| {
+                if i == 0 {
+                    panic!("first batch dies");
+                }
+            })
+        }));
+        assert!(poisoned.is_err());
+        let (out, _) = pool.map_stats(0, &[10u32, 20, 30], |_, &x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            x * 2
+        });
+        assert_eq!(out, vec![20, 40, 60]);
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn install_routes_map_stats_installed_to_the_pool() {
+        let items: Vec<u64> = (0..10).collect();
+        // Not installed: per-call path clamps workers to items.
+        let (out, stats) = map_stats_installed(&items, 3, |_, &x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(stats.worker_busy_secs.len(), 3);
+        // Installed: the pool's worker count shows in the stats.
+        let pool = Arc::new(WorkerPool::new(5));
+        let guard = install(&pool, 7);
+        assert_eq!(installed().map(|(_, p)| p), Some(7));
+        let (out, stats) = map_stats_installed(&items, 3, |_, &x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(stats.worker_busy_secs.len(), 5);
+        drop(guard);
+        assert!(installed().is_none());
+    }
+}
