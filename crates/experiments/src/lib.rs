@@ -34,6 +34,7 @@ pub mod output;
 pub mod report;
 pub mod scenario;
 pub mod schedule;
+pub mod studies;
 pub mod sweep;
 pub mod timing;
 pub mod tuner;

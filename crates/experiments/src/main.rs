@@ -4,23 +4,28 @@
 //! swapsim all [--quick] [--jobs N] [--out DIR]     regenerate every figure
 //! swapsim fig4 [--quick] [--jobs N] [--out DIR]    regenerate one figure
 //! swapsim trace [scenario] [--quick] [--out DIR]   traced run: JSONL + Chrome + audit
+//! swapsim protocol [...] [--trace PATH]            one decision round through the DES
 //! swapsim list                                     list figure ids and contents
 //! ```
 //!
 //! Each figure is written as `DIR/<id>.csv` (plus `<id>.json` with full
-//! metadata, and `<id>.timing.json` with the wall-clock breakdown) and
-//! rendered as an ASCII chart on stdout.
+//! metadata, `<id>.timing.json` with the wall-clock breakdown, and —
+//! for swept studies — `<id>.metrics.json` derived from the study's
+//! deterministic trace). Batch commands (`all`, `ablations`,
+//! `extensions`, `report`) also write a `manifest.json` inventory.
+//! Figures render as ASCII charts on stdout.
 //!
 //! `--jobs N` fans the sweep grid out over N worker threads (`0`, the
 //! default, uses all available parallelism; `1` is fully serial). The
-//! CSV/JSON payloads are bit-identical at every setting — only the
-//! timing file and wall-clock change.
+//! CSV/JSON/metrics payloads are bit-identical at every setting — only
+//! the timing file and wall-clock change.
 
 use experiments::ablations::ALL_ABLATIONS;
 use experiments::extensions::ALL_EXTENSIONS;
 use experiments::figures::ALL_FIGURES;
-use experiments::report::{render_markdown, run_report_timed};
-use experiments::schedule::{self, GeneratedFigure};
+use experiments::output::{write_manifest, Manifest};
+use experiments::report::{render_markdown, run_report_timed_with, REPORT_FIGURES};
+use experiments::schedule::{self, GeneratedFigure, Weights};
 use experiments::Scale;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -57,12 +62,18 @@ fn main() {
     let mut scale = if quick { Scale::quick() } else { Scale::full() };
     scale.jobs = jobs;
 
-    // Refuse --trace where it would be silently ignored: figure sweeps
-    // aggregate thousands of cells and are traced through their scenario
-    // equivalents instead (swapsim trace / run --trace / gantt --trace).
-    if trace_path.is_some() && !matches!(args[0].as_str(), "run" | "gantt") {
+    // Refuse --trace where it would be silently ignored. Figure sweeps
+    // aggregate thousands of cells, so study ids trace their
+    // representative scenario (experiments::studies) instead of the
+    // sweep itself; only the analytic fig1–fig3 have nothing to trace.
+    let traceable = matches!(
+        args[0].as_str(),
+        "run" | "gantt" | "protocol" | "all" | "ablations" | "extensions"
+    ) || experiments::studies::has_study(&args[0]);
+    if trace_path.is_some() && !traceable {
         eprintln!(
-            "--trace is supported by 'swapsim run' and 'swapsim gantt'; \
+            "--trace is supported by 'swapsim run', 'swapsim gantt', 'swapsim protocol', \
+             batch commands (all/ablations/extensions), and swept study ids; \
              use 'swapsim trace [scenario.json]' for the full export set"
         );
         std::process::exit(2);
@@ -91,10 +102,29 @@ fn main() {
             println!("  scenario  print a scenario JSON template");
             println!("  run       execute a scenario file (swapsim run exp.json)");
             println!("  trace     run a scenario with full tracing (JSONL, Chrome trace, audit)");
+            println!("  protocol  simulate one manager decision round through the link DES");
         }
-        "all" => run_figures(&ALL_FIGURES, &scale, &out_dir),
-        "ablations" => run_figures(&ALL_ABLATIONS, &scale, &out_dir),
-        "extensions" => run_figures(&ALL_EXTENSIONS, &scale, &out_dir),
+        "all" => run_figures(
+            &ALL_FIGURES,
+            &scale,
+            &out_dir,
+            trace_path.as_deref(),
+            Some("all"),
+        ),
+        "ablations" => run_figures(
+            &ALL_ABLATIONS,
+            &scale,
+            &out_dir,
+            trace_path.as_deref(),
+            Some("ablations"),
+        ),
+        "extensions" => run_figures(
+            &ALL_EXTENSIONS,
+            &scale,
+            &out_dir,
+            trace_path.as_deref(),
+            Some("extensions"),
+        ),
         "policy" => {
             // swapsim policy <file.json|--template> [duty] [state_bytes]:
             // evaluate a custom policy (serde JSON of PolicyParams).
@@ -269,6 +299,40 @@ fn main() {
             eprintln!("wrote {}", metrics_path.display());
             eprintln!("wrote {}", audit_path.display());
         }
+        "protocol" => {
+            // swapsim protocol [n_active] [n_spares] [state_bytes] [swaps]
+            // [--trace PATH]: one manager decision round through the
+            // shared-link DES, with the full observability pipeline.
+            let n_active: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let n_spares: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(28);
+            let state: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0e6);
+            let swaps: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let params =
+                simulator::protocol::ProtocolParams::hpdc03(n_active, n_spares, state, swaps);
+            let (sink, collector) = obs::SharedSink::collector();
+            let outcome = simulator::protocol::simulate_decision_round_traced(&params, &sink);
+            let mut bundle = obs::TraceBundle::new();
+            bundle.push("protocol", 0, collector.snapshot());
+
+            println!(
+                "decision round: {n_active} active + {n_spares} spares, {state:.0} B state, {swaps} swap(s)"
+            );
+            println!(
+                "  decision ready       {:>10.6} s\n  directives delivered {:>10.6} s\n  round complete       {:>10.6} s",
+                outcome.decision_ready, outcome.directives_delivered, outcome.round_complete
+            );
+            println!(
+                "  {} messages, link busy {:.6} s, control overhead {:.6} s",
+                outcome.messages,
+                outcome.link_busy,
+                outcome.control_overhead(&params)
+            );
+            print!("{}", obs::audit::render(&bundle));
+            println!("{}", obs::Metrics::from_bundle(&bundle).render());
+            if let Some(path) = &trace_path {
+                write_trace_file(&bundle, path);
+            }
+        }
         "tune" => {
             // swapsim tune [duty] [state_bytes]: grid-search the policy
             // space at one operating point.
@@ -319,37 +383,49 @@ fn main() {
         }
         "report" => {
             let t0 = Instant::now();
-            let (checks, timings) = run_report_timed(&scale);
+            // Self-tuning loop: a previous report run's timing artifacts
+            // in the same output directory replace the static weight
+            // table, so the queue orders figures by *measured* cost.
+            let weights = Weights::from_dir(&out_dir, &REPORT_FIGURES);
+            let (checks, generated) = run_report_timed_with(&scale, &weights);
             let md = render_markdown(&checks);
             std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
             let path = out_dir.join("report.md");
             std::fs::write(&path, &md).expect("cannot write report");
-            // One timing artifact per generated figure, same schema as
-            // the single-figure command writes.
-            for t in timings.iter().filter(|t| !t.points.is_empty()) {
-                let tp = out_dir.join(format!("{}.timing.json", t.id));
-                std::fs::write(
-                    &tp,
-                    serde_json::to_string_pretty(t).expect("timing serializes"),
-                )
-                .expect("cannot write timing JSON");
+            // Full artifact set per generated figure — csv, json,
+            // timing, metrics — plus the run's manifest.
+            let mut manifest = Manifest::new("report", &scale);
+            for (&id, g) in REPORT_FIGURES.iter().zip(&generated) {
+                let artifacts = experiments::output::write_artifacts(
+                    &out_dir,
+                    &g.fig,
+                    Some(&g.timing),
+                    g.metrics.as_ref(),
+                );
+                manifest.push(id, &artifacts, g.timing.elapsed_secs);
             }
+            let manifest_path = write_manifest(&out_dir, &manifest);
             println!("{md}");
             let elapsed = t0.elapsed().as_secs_f64();
-            let busy: f64 = timings.iter().map(|t| t.busy_secs).sum();
-            let workers = timings.iter().map(|t| t.jobs_effective).max().unwrap_or(1);
+            let busy: f64 = generated.iter().map(|g| g.timing.busy_secs).sum();
+            let workers = generated
+                .iter()
+                .map(|g| g.timing.jobs_effective)
+                .max()
+                .unwrap_or(1);
             eprintln!(
                 "wrote {} ({} figures through one {workers}-worker queue: busy {busy:.1}s over {elapsed:.1}s wall, global utilization {:.0}%)",
                 path.display(),
-                timings.len(),
+                generated.len(),
                 100.0 * busy / (workers as f64 * elapsed).max(f64::EPSILON)
             );
+            eprintln!("wrote {}", manifest_path.display());
         }
         id if ALL_FIGURES.contains(&id)
             || ALL_ABLATIONS.contains(&id)
             || ALL_EXTENSIONS.contains(&id) =>
         {
-            run_figures(&[id], &scale, &out_dir);
+            run_figures(&[id], &scale, &out_dir, trace_path.as_deref(), None);
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -361,18 +437,63 @@ fn main() {
 /// Generates `ids` through the cross-figure scheduler (one shared
 /// worker-pool queue, heaviest figures first) and streams each figure's
 /// artifacts/chart in the given order as results become available.
-fn run_figures(ids: &[&str], scale: &Scale, out_dir: &Path) {
+///
+/// With `--trace PATH`: a single id writes its study trace to PATH
+/// itself; batch runs treat PATH as a directory and write one
+/// `<id>.trace.jsonl` per traced figure. `manifest_command` (set for
+/// the batch commands) additionally writes a `manifest.json` inventory
+/// under `out_dir`.
+fn run_figures(
+    ids: &[&str],
+    scale: &Scale,
+    out_dir: &Path,
+    trace_path: Option<&Path>,
+    manifest_command: Option<&str>,
+) {
+    let batch = ids.len() > 1;
+    let mut manifest = manifest_command.map(|cmd| Manifest::new(cmd, scale));
     schedule::generate_each(ids, scale, |id, generated| {
-        emit_figure(id, generated, out_dir);
+        let (generated, artifacts) = emit_figure(id, generated, out_dir);
+        match (&trace_path, &generated.trace) {
+            (Some(path), Some(trace)) => {
+                let file = if batch {
+                    path.join(format!("{id}.trace.jsonl"))
+                } else {
+                    path.to_path_buf()
+                };
+                write_trace_file(trace, &file);
+            }
+            (Some(_), None) => {
+                eprintln!("note: {id} is analytic (no simulation runs), nothing to trace");
+            }
+            (None, _) => {}
+        }
+        if let Some(m) = manifest.as_mut() {
+            m.push(id, &artifacts, generated.timing.elapsed_secs);
+        }
     });
+    if let Some(m) = &manifest {
+        let path = write_manifest(out_dir, m);
+        eprintln!("wrote {}", path.display());
+    }
 }
 
-fn emit_figure(id: &str, generated: Option<GeneratedFigure>, out_dir: &Path) {
-    let Some(GeneratedFigure { fig, timing }) = generated else {
+fn emit_figure(
+    id: &str,
+    generated: Option<GeneratedFigure>,
+    out_dir: &Path,
+) -> (GeneratedFigure, experiments::output::FigureArtifacts) {
+    let Some(generated) = generated else {
         eprintln!("unknown figure id '{id}'");
         std::process::exit(2);
     };
-    let artifacts = experiments::output::write_artifacts(out_dir, &fig, Some(&timing));
+    let artifacts = experiments::output::write_artifacts(
+        out_dir,
+        &generated.fig,
+        Some(&generated.timing),
+        generated.metrics.as_ref(),
+    );
+    let (fig, timing) = (&generated.fig, &generated.timing);
     println!("{}", fig.to_ascii(72, 20));
     eprintln!(
         "wrote {} and {} ({} series, {:.1}s)",
@@ -381,10 +502,13 @@ fn emit_figure(id: &str, generated: Option<GeneratedFigure>, out_dir: &Path) {
         fig.series.len(),
         timing.elapsed_secs
     );
+    if let Some(metrics_path) = &artifacts.metrics {
+        eprintln!("metrics: {}", metrics_path.display());
+    }
     // Trace figures (fig1-3) never enter the sweep engine, so their
     // summaries carry no points and get no timing file.
     if let Some(timing_path) = &artifacts.timing {
-        let t = &timing;
+        let t = timing;
         eprintln!(
             "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x, {:.0}% util) -> {}",
             t.points.len(),
@@ -397,6 +521,7 @@ fn emit_figure(id: &str, generated: Option<GeneratedFigure>, out_dir: &Path) {
         );
     }
     println!();
+    (generated, artifacts)
 }
 
 fn run_policy_eval(policy: swap_core::PolicyParams, duty: f64, state: f64, scale: &Scale) {
@@ -528,6 +653,6 @@ fn write_trace_file(bundle: &obs::TraceBundle, path: &Path) {
 }
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim run <scenario.json> [--jobs N] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON output is bit-identical at every setting\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json");
+    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR] [--trace PATH]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim run <scenario.json> [--jobs N] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n       swapsim protocol [n_active] [n_spares] [state_bytes] [swaps] [--trace PATH]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON/metrics output is bit-identical at every setting\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json;\n                     swept study ids trace their representative scenario, and batch\n                     commands treat PATH as a directory of <id>.trace.jsonl files");
     std::process::exit(1);
 }

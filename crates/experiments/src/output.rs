@@ -2,6 +2,7 @@
 //! on-disk artifact layout shared by the `swapsim` driver and the
 //! integration tests.
 
+use crate::config::Scale;
 use crate::timing::TimingSummary;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -172,18 +173,38 @@ pub struct FigureArtifacts {
     /// was supplied (the analytic figures never enter the sweep engine,
     /// so they get no timing file).
     pub timing: Option<PathBuf>,
+    /// `<id>.metrics.json`, when trace-derived metrics were supplied
+    /// (figures with a representative study scenario).
+    pub metrics: Option<PathBuf>,
+}
+
+impl FigureArtifacts {
+    /// File names of every artifact written, for the run manifest.
+    pub fn file_names(&self) -> Vec<String> {
+        [Some(&self.csv), Some(&self.json)]
+            .into_iter()
+            .flatten()
+            .chain(self.timing.iter())
+            .chain(self.metrics.iter())
+            .filter_map(|p| p.file_name())
+            .map(|n| n.to_string_lossy().into_owned())
+            .collect()
+    }
 }
 
 /// Writes a figure's on-disk artifacts under `out_dir` (created if
-/// missing): `<id>.csv`, `<id>.json`, and — when `timing` carries sweep
-/// points — `<id>.timing.json`. The CSV/JSON payloads depend only on
-/// the figure data, so they are byte-identical across `--jobs` settings
-/// and across pooled vs per-call execution; only the timing file varies
-/// with the host and scheduling.
+/// missing): `<id>.csv`, `<id>.json`, and — when supplied — the
+/// `<id>.timing.json` summary (only if it carries sweep points) and the
+/// trace-derived `<id>.metrics.json`. The CSV/JSON/metrics payloads
+/// depend only on the figure data and the simulated-time trace, so they
+/// are byte-identical across `--jobs` settings and across pooled vs
+/// per-call execution; only the timing file varies with the host and
+/// scheduling.
 pub fn write_artifacts(
     out_dir: &Path,
     fig: &FigureData,
     timing: Option<&TimingSummary>,
+    metrics: Option<&obs::Metrics>,
 ) -> FigureArtifacts {
     std::fs::create_dir_all(out_dir).expect("cannot create output directory");
     let csv = out_dir.join(format!("{}.csv", fig.id));
@@ -203,7 +224,83 @@ pub fn write_artifacts(
         .expect("cannot write timing JSON");
         path
     });
-    FigureArtifacts { csv, json, timing }
+    let metrics = metrics.map(|m| {
+        let path = out_dir.join(format!("{}.metrics.json", fig.id));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(m).expect("metrics serialize"),
+        )
+        .expect("cannot write metrics JSON");
+        path
+    });
+    FigureArtifacts {
+        csv,
+        json,
+        timing,
+        metrics,
+    }
+}
+
+/// One figure's entry in the run [`Manifest`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ManifestFigure {
+    /// Figure id.
+    pub id: String,
+    /// File names of the figure's artifacts, relative to the manifest's
+    /// directory, in the order written (csv, json, then the optional
+    /// timing and metrics documents).
+    pub artifacts: Vec<String>,
+    /// End-to-end wall-clock seconds to generate the figure (including
+    /// its representative study trace).
+    pub wall_secs: f64,
+}
+
+/// The top-level `manifest.json` written next to a batch run's figure
+/// artifacts: which command produced them, at what scale (seeds, sweep
+/// resolution, iterations, jobs), and what was written per figure with
+/// its wall-clock cost. The manifest is the machine-readable table of
+/// contents for the run; wall-clock fields vary run to run, everything
+/// else is deterministic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// The `swapsim` subcommand that produced the run (e.g. `report`).
+    pub command: String,
+    /// Sampling scale the run used.
+    pub scale: Scale,
+    /// Per-figure artifact inventory, in generation order.
+    pub figures: Vec<ManifestFigure>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for a command at a scale.
+    pub fn new(command: &str, scale: &Scale) -> Self {
+        Manifest {
+            command: command.to_owned(),
+            scale: *scale,
+            figures: Vec::new(),
+        }
+    }
+
+    /// Records one generated figure's artifacts and wall-clock.
+    pub fn push(&mut self, id: &str, artifacts: &FigureArtifacts, wall_secs: f64) {
+        self.figures.push(ManifestFigure {
+            id: id.to_owned(),
+            artifacts: artifacts.file_names(),
+            wall_secs,
+        });
+    }
+}
+
+/// Writes `manifest.json` under `out_dir` and returns its path.
+pub fn write_manifest(out_dir: &Path, manifest: &Manifest) -> PathBuf {
+    std::fs::create_dir_all(out_dir).expect("cannot create output directory");
+    let path = out_dir.join("manifest.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(manifest).expect("manifest serializes"),
+    )
+    .expect("cannot write manifest JSON");
+    path
 }
 
 #[cfg(test)]
@@ -282,14 +379,18 @@ mod tests {
         let f = fig();
 
         // No timing summary at all: payloads only.
-        let a = write_artifacts(&dir, &f, None);
+        let a = write_artifacts(&dir, &f, None, None);
         assert_eq!(std::fs::read_to_string(&a.csv).unwrap(), f.to_csv());
         assert!(std::fs::read_to_string(&a.json).unwrap().contains("figX"));
         assert!(a.timing.is_none());
+        assert!(a.metrics.is_none());
+        assert_eq!(a.file_names(), vec!["figX.csv", "figX.json"]);
 
         // A summary without points (analytic figure): still no file.
         let empty = crate::timing::Collection::begin("figX", 1, 1).finish(0.1);
-        assert!(write_artifacts(&dir, &f, Some(&empty)).timing.is_none());
+        assert!(write_artifacts(&dir, &f, Some(&empty), None)
+            .timing
+            .is_none());
 
         // A summary with points gets `<id>.timing.json`.
         let col = crate::timing::Collection::begin("figX", 1, 1);
@@ -297,7 +398,7 @@ mod tests {
         col.record(0, "a", 0.0, 0.5, 0);
         col.record_worker_busy(&[0.5]);
         let t = col.finish(0.5);
-        let a = write_artifacts(&dir, &f, Some(&t));
+        let a = write_artifacts(&dir, &f, Some(&t), None);
         let tp = a.timing.expect("timing file written");
         let text = std::fs::read_to_string(&tp).unwrap();
         for field in [
@@ -309,6 +410,46 @@ mod tests {
         ] {
             assert!(text.contains(field), "timing JSON missing {field}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_artifacts_emits_metrics_and_manifest_inventories_them() {
+        let dir =
+            std::env::temp_dir().join(format!("swapsim-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fig();
+        let mut metrics = obs::Metrics::default();
+        metrics.incr("swap.admitted", 1);
+        metrics.observe("iter_secs", 30.0);
+
+        let a = write_artifacts(&dir, &f, None, Some(&metrics));
+        let mp = a.metrics.as_ref().expect("metrics file written");
+        let text = std::fs::read_to_string(mp).unwrap();
+        assert!(text.contains("swap.admitted"), "{text}");
+        assert!(text.contains("iter_secs"), "{text}");
+        let back: obs::Metrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, metrics, "metrics round-trip through the artifact");
+        assert_eq!(
+            a.file_names(),
+            vec!["figX.csv", "figX.json", "figX.metrics.json"]
+        );
+
+        let mut manifest = Manifest::new("report", &Scale::quick());
+        manifest.push("figX", &a, 1.25);
+        let path = write_manifest(&dir, &manifest);
+        assert_eq!(path.file_name().unwrap(), "manifest.json");
+        let back: Manifest = serde_json::from_str(&std::fs::read_to_string(&path).unwrap())
+            .expect("manifest round-trips");
+        assert_eq!(back, manifest);
+        assert_eq!(back.command, "report");
+        assert_eq!(back.scale, Scale::quick());
+        assert_eq!(back.figures.len(), 1);
+        assert_eq!(back.figures[0].id, "figX");
+        assert!(back.figures[0]
+            .artifacts
+            .contains(&"figX.metrics.json".to_owned()));
+        assert!((back.figures[0].wall_secs - 1.25).abs() < 1e-12);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

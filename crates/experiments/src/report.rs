@@ -7,8 +7,7 @@
 
 use crate::config::Scale;
 use crate::output::FigureData;
-use crate::schedule::{self, GeneratedFigure};
-use crate::timing::TimingSummary;
+use crate::schedule::{self, GeneratedFigure, Weights};
 use loadmodel::stats;
 use serde::{Deserialize, Serialize};
 use simkit::rng::rng;
@@ -123,16 +122,28 @@ pub fn run_report(scale: &Scale) -> Vec<Check> {
     run_report_timed(scale).0
 }
 
-/// [`run_report`] plus the per-figure timing summaries from the shared
-/// queue, in [`REPORT_FIGURES`] order (for `<id>.timing.json` artifacts
-/// and the driver's utilization line). The checks are byte-identical to
-/// [`run_report`]'s regardless of `scale.jobs`.
-pub fn run_report_timed(scale: &Scale) -> (Vec<Check>, Vec<TimingSummary>) {
-    let generated: Vec<GeneratedFigure> = schedule::generate_set(&REPORT_FIGURES, scale)
-        .into_iter()
-        .map(|g| g.expect("every REPORT_FIGURES id resolves to a generator"))
-        .collect();
-    let timings: Vec<TimingSummary> = generated.iter().map(|g| g.timing.clone()).collect();
+/// [`run_report`] plus the full per-figure generation record from the
+/// shared queue — timing summaries, study traces, and metrics — in
+/// [`REPORT_FIGURES`] order (for the `<id>.timing.json` /
+/// `<id>.metrics.json` artifacts and the driver's utilization line).
+/// The checks are byte-identical to [`run_report`]'s regardless of
+/// `scale.jobs`.
+pub fn run_report_timed(scale: &Scale) -> (Vec<Check>, Vec<GeneratedFigure>) {
+    run_report_timed_with(scale, &Weights::static_table())
+}
+
+/// [`run_report_timed`] under an explicit weight table, so the driver
+/// can feed a previous run's timing artifacts back into the queue order
+/// ([`Weights::from_dir`]). The checks and every deterministic artifact
+/// stay byte-identical no matter the weights; only scheduling changes.
+pub fn run_report_timed_with(
+    scale: &Scale,
+    weights: &Weights,
+) -> (Vec<Check>, Vec<GeneratedFigure>) {
+    let mut generated: Vec<GeneratedFigure> = Vec::with_capacity(REPORT_FIGURES.len());
+    schedule::generate_each_with(&REPORT_FIGURES, scale, weights, |_, g| {
+        generated.push(g.expect("every REPORT_FIGURES id resolves to a generator"));
+    });
     let fig = |id: &str| -> &FigureData {
         let i = REPORT_FIGURES
             .iter()
@@ -359,7 +370,7 @@ pub fn run_report_timed(scale: &Scale) -> (Vec<Check>, Vec<TimingSummary>) {
         ben_p > 0.15,
     ));
 
-    (checks, timings)
+    (checks, generated)
 }
 
 /// Renders the checks as a Markdown table with a pass/fail summary.

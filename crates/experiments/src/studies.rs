@@ -1,0 +1,301 @@
+//! Representative traced scenarios for every study id.
+//!
+//! A figure/ablation/extension sweep aggregates thousands of cells into
+//! a few curves — tracing every cell would bury the signal. Instead,
+//! each study id maps to one *representative* [`Scenario`] at the
+//! study's operating point (its platform, application, and headline
+//! strategies), small enough to trace end to end. `swapsim <id>
+//! --trace` runs it through [`Scenario::run_traced`], and the
+//! report/`all` paths derive each figure's `<id>.metrics.json` from the
+//! same traced run — so every study surface flows through the `obs`
+//! layer, not just the hand-picked scenario of `swapsim trace`.
+//!
+//! Determinism: the scenario runs in simulated time with fixed seeds
+//! (`0..replications`), so its trace bundle — and everything derived
+//! from it — is byte-identical across `--jobs` settings and repeated
+//! runs. The analytic figures (fig1–fig3) have no simulation runs and
+//! therefore no scenario.
+
+use crate::config::Scale;
+use crate::figures::{onoff_duty, platform, ONOFF_Q, ONOFF_STEP};
+use crate::scenario::{Scenario, StrategyRef};
+use loadmodel::{DegenerateHyperExp, HyperExpWorkload, OnOffSource};
+use simulator::platform::LoadSpec;
+use simulator::runner::ReplicatedResult;
+use simulator::AppSpec;
+use swap_core::PolicyParams;
+
+/// Replications per study scenario: enough to exercise the bundle's
+/// strategy-major × seed-minor ordering while staying negligible next
+/// to the study's own sweep.
+const STUDY_REPLICATIONS: usize = 2;
+
+fn swap(policy: PolicyParams) -> StrategyRef {
+    StrategyRef::Swap { policy }
+}
+
+fn scenario(load: LoadSpec, app: AppSpec, strategies: Vec<StrategyRef>, scale: &Scale) -> Scenario {
+    let mut app = app;
+    app.iterations = scale.iterations;
+    Scenario {
+        platform: platform(load),
+        app,
+        allocated: 32,
+        replications: STUDY_REPLICATIONS,
+        jobs: 0,
+        strategies,
+    }
+}
+
+/// The representative scenario for a study id, or `None` for ids with
+/// no simulation runs (the analytic fig1–fig3) and unknown ids. The
+/// operating point mirrors the study's generator: same load family,
+/// state size, and headline strategy set.
+pub fn study_scenario(id: &str, scale: &Scale) -> Option<Scenario> {
+    let greedy = PolicyParams::greedy();
+    let safe = PolicyParams::safe();
+    Some(match id {
+        // --- figures --------------------------------------------------
+        "fig4" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e6),
+            vec![
+                StrategyRef::Nothing,
+                StrategyRef::Dlb,
+                swap(greedy),
+                StrategyRef::Cr { policy: greedy },
+            ],
+            scale,
+        ),
+        "fig5" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e6),
+            vec![
+                StrategyRef::Nothing,
+                swap(greedy),
+                StrategyRef::Cr { policy: greedy },
+            ],
+            scale,
+        ),
+        "fig6" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e8),
+            vec![
+                StrategyRef::Nothing,
+                swap(greedy),
+                StrategyRef::Cr { policy: greedy },
+            ],
+            scale,
+        ),
+        "fig7" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e8),
+            vec![
+                StrategyRef::Nothing,
+                swap(greedy),
+                swap(safe),
+                swap(PolicyParams::friendly()),
+            ],
+            scale,
+        ),
+        "fig8" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(2, 1.0e9),
+            vec![StrategyRef::Nothing, swap(greedy), swap(safe)],
+            scale,
+        ),
+        "fig9" => scenario(
+            LoadSpec::HyperExp(HyperExpWorkload::new(
+                DegenerateHyperExp::new(600.0, 0.4),
+                1.0 / 60.0,
+            )),
+            AppSpec::hpdc03(4, 1.0e6),
+            vec![
+                StrategyRef::Nothing,
+                StrategyRef::Dlb,
+                swap(greedy),
+                StrategyRef::Cr { policy: greedy },
+            ],
+            scale,
+        ),
+        // --- ablations (shared operating point: 4/32, 100 MB state) ---
+        "ablation_history" | "ablation_payback" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e8),
+            vec![StrategyRef::Nothing, swap(greedy), swap(safe)],
+            scale,
+        ),
+        "ablation_multiswap" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e8),
+            vec![StrategyRef::Nothing, swap(greedy)],
+            scale,
+        ),
+        "ablation_dynamism" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e8),
+            vec![StrategyRef::Nothing, StrategyRef::Dlb, swap(greedy)],
+            scale,
+        ),
+        "ablation_oracle" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e8),
+            vec![StrategyRef::Nothing, swap(greedy), StrategyRef::Oracle],
+            scale,
+        ),
+        "ablation_commmodel" => {
+            let mut app = AppSpec::hpdc03(4, 1.0e8);
+            app.bytes_per_proc_iter = 1.0e7;
+            scenario(
+                onoff_duty(0.5),
+                app,
+                vec![StrategyRef::Nothing, swap(greedy)],
+                scale,
+            )
+        }
+        // --- extensions ------------------------------------------------
+        "ext_reclamation" => scenario(
+            LoadSpec::Reclamation {
+                source: OnOffSource::for_duty_cycle(0.3, 0.04, 30.0),
+                weight: 19.0,
+            },
+            AppSpec::hpdc03(4, 1.0e6),
+            vec![
+                StrategyRef::Nothing,
+                swap(greedy),
+                StrategyRef::Dlb,
+                StrategyRef::Cr { policy: greedy },
+            ],
+            scale,
+        ),
+        "ext_dlb_swap" => scenario(
+            onoff_duty(0.5),
+            AppSpec::hpdc03(4, 1.0e6),
+            vec![
+                StrategyRef::Nothing,
+                StrategyRef::Dlb,
+                swap(greedy),
+                StrategyRef::DlbSwap { policy: greedy },
+            ],
+            scale,
+        ),
+        "ext_pareto" => {
+            let unit_mean = loadmodel::BoundedPareto::new(1.1, 1.0, 1000.0).mean();
+            let lo = 600.0 / unit_mean;
+            let dist = loadmodel::BoundedPareto::new(1.1, lo, 1000.0 * lo);
+            scenario(
+                LoadSpec::Pareto(loadmodel::ParetoWorkload::new(dist, 1.0 / 600.0)),
+                AppSpec::hpdc03(4, 1.0e6),
+                vec![
+                    StrategyRef::Nothing,
+                    swap(greedy),
+                    StrategyRef::Cr { policy: greedy },
+                ],
+                scale,
+            )
+        }
+        "ext_traces" => scenario(
+            LoadSpec::Diurnal(loadmodel::DiurnalTraceGenerator {
+                day_length: 14_400.0,
+                peak_load: 2.0,
+                persistence: 0.9,
+                spike_prob: 0.002,
+                sample_period: 60.0,
+            }),
+            AppSpec::hpdc03(4, 1.0e6),
+            vec![
+                StrategyRef::Nothing,
+                swap(greedy),
+                swap(safe),
+                StrategyRef::Dlb,
+            ],
+            scale,
+        ),
+        "ext_granularity" => {
+            let mut app = AppSpec::hpdc03(4, 1.0e8);
+            // The sweep's 60 s operating point: iteration ≈ 3.6× the
+            // ~16.7 s swap time, squarely in the viable regime.
+            app.flops_per_proc_iter = 60.0 * 3.0e8;
+            scenario(
+                LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, ONOFF_Q, ONOFF_STEP)),
+                app,
+                vec![StrategyRef::Nothing, swap(greedy), swap(safe)],
+                scale,
+            )
+        }
+        _ => return None,
+    })
+}
+
+/// Whether a study id has a representative scenario (and therefore
+/// supports `--trace` and gets a `<id>.metrics.json` artifact).
+pub fn has_study(id: &str) -> bool {
+    study_scenario(id, &Scale::quick()).is_some()
+}
+
+/// Runs the study's representative scenario with tracing on, at
+/// `scale.jobs` parallelism: results plus the deterministic trace
+/// bundle, or `None` for ids without a scenario.
+pub fn run_study_traced(
+    id: &str,
+    scale: &Scale,
+) -> Option<(Vec<ReplicatedResult>, obs::TraceBundle)> {
+    let mut s = study_scenario(id, scale)?;
+    s.jobs = scale.jobs;
+    Some(s.run_traced())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ablations::ALL_ABLATIONS;
+    use crate::extensions::ALL_EXTENSIONS;
+    use crate::report::REPORT_FIGURES;
+
+    #[test]
+    fn every_swept_study_has_a_valid_scenario() {
+        let scale = Scale::quick();
+        for id in REPORT_FIGURES
+            .iter()
+            .chain(ALL_ABLATIONS.iter())
+            .chain(ALL_EXTENSIONS.iter())
+        {
+            let s = study_scenario(id, &scale)
+                .unwrap_or_else(|| panic!("{id} needs a representative scenario"));
+            s.validate();
+            assert_eq!(s.app.iterations, scale.iterations, "{id}");
+            assert_eq!(s.replications, STUDY_REPLICATIONS, "{id}");
+        }
+    }
+
+    #[test]
+    fn analytic_and_unknown_ids_have_no_scenario() {
+        for id in ["fig1", "fig2", "fig3", "nope"] {
+            assert!(study_scenario(id, &Scale::quick()).is_none(), "{id}");
+            assert!(!has_study(id), "{id}");
+        }
+        assert!(has_study("fig4"));
+        assert!(has_study("ablation_oracle"));
+        assert!(has_study("ext_reclamation"));
+    }
+
+    #[test]
+    fn study_traces_are_nonempty_and_jobs_invariant() {
+        let mut scale = Scale {
+            seeds: 1,
+            sweep_points: 2,
+            iterations: 4,
+            jobs: 1,
+        };
+        let (results, serial) = run_study_traced("ablation_oracle", &scale).expect("scenario");
+        assert_eq!(results.len(), 3);
+        assert!(serial.event_count() > 0);
+        scale.jobs = 4;
+        let (_, parallel) = run_study_traced("ablation_oracle", &scale).expect("scenario");
+        assert_eq!(
+            obs::jsonl::to_jsonl(&serial),
+            obs::jsonl::to_jsonl(&parallel),
+            "study trace must not depend on jobs"
+        );
+    }
+}

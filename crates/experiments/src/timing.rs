@@ -18,13 +18,13 @@
 //! speed, while the timing summary goes to a separate
 //! `<id>.timing.json` document.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Wall-clock cost of one `(series, sweep point)` work item.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PointTiming {
     /// Series label within the figure.
     pub series: String,
@@ -46,7 +46,7 @@ pub struct PointTiming {
 
 /// Machine-readable timing summary for one figure run, written as
 /// `<id>.timing.json` next to the figure's CSV/JSON payloads.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TimingSummary {
     /// Figure id.
     pub id: String,

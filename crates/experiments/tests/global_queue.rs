@@ -19,9 +19,9 @@ fn scale_with_jobs(jobs: usize) -> Scale {
 
 #[test]
 fn report_markdown_is_byte_identical_across_jobs() {
-    let (serial_checks, serial_timings) = run_report_timed(&scale_with_jobs(1));
+    let (serial_checks, serial_gen) = run_report_timed(&scale_with_jobs(1));
     let serial_md = render_markdown(&serial_checks);
-    let (pooled_checks, pooled_timings) = run_report_timed(&scale_with_jobs(4));
+    let (pooled_checks, pooled_gen) = run_report_timed(&scale_with_jobs(4));
     let pooled_md = render_markdown(&pooled_checks);
     assert_eq!(serial_md, pooled_md, "report.md must not depend on --jobs");
     // Check payloads, not just the rendering: ids, claims and measured
@@ -31,12 +31,22 @@ fn report_markdown_is_byte_identical_across_jobs() {
         assert_eq!(a.measured, b.measured);
         assert_eq!(a.pass, b.pass);
     }
-    // Timing artifacts exist for every report figure under both paths.
-    assert_eq!(serial_timings.len(), REPORT_FIGURES.len());
-    assert_eq!(pooled_timings.len(), REPORT_FIGURES.len());
-    for (t, &id) in pooled_timings.iter().zip(&REPORT_FIGURES) {
-        assert_eq!(t.id, id);
-        assert!(!t.points.is_empty(), "{id} recorded no points");
+    // Timing artifacts exist for every report figure under both paths,
+    // and every swept report figure carries trace-derived metrics that
+    // are themselves jobs-invariant.
+    assert_eq!(serial_gen.len(), REPORT_FIGURES.len());
+    assert_eq!(pooled_gen.len(), REPORT_FIGURES.len());
+    for ((s, p), &id) in serial_gen.iter().zip(&pooled_gen).zip(&REPORT_FIGURES) {
+        assert_eq!(p.timing.id, id);
+        assert!(!p.timing.points.is_empty(), "{id} recorded no points");
+        let sm = s.metrics.as_ref().expect("swept figure has metrics");
+        let pm = p.metrics.as_ref().expect("swept figure has metrics");
+        assert_eq!(sm, pm, "{id} metrics must not depend on --jobs");
+        assert_eq!(
+            serde_json::to_string_pretty(sm).unwrap(),
+            serde_json::to_string_pretty(pm).unwrap(),
+            "{id} metrics.json must be byte-identical across jobs"
+        );
     }
 }
 
@@ -106,10 +116,13 @@ fn write_artifacts_report_layout_matches_single_figure_layout() {
     let scale = scale_with_jobs(2);
     let out = schedule::generate_set(&["fig4"], &scale);
     let g = out[0].as_ref().expect("fig4 exists");
-    let artifacts = experiments::output::write_artifacts(&dir, &g.fig, Some(&g.timing));
+    let artifacts =
+        experiments::output::write_artifacts(&dir, &g.fig, Some(&g.timing), g.metrics.as_ref());
     assert!(artifacts.csv.ends_with("fig4.csv") && artifacts.csv.exists());
     assert!(artifacts.json.ends_with("fig4.json") && artifacts.json.exists());
     let tp = artifacts.timing.expect("sweep figure gets a timing file");
     assert!(tp.ends_with("fig4.timing.json") && tp.exists());
+    let mp = artifacts.metrics.expect("swept figure gets a metrics file");
+    assert!(mp.ends_with("fig4.metrics.json") && mp.exists());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,82 +1,159 @@
 //! Decision audit: a human-readable account of every swap decision,
 //! showing the payback algebra (§5 of the paper) with actual numbers —
 //! `payback = (swap_time / old_iter_time) / (1 − old_perf / new_perf)`
-//! — and which gate approved or vetoed the exchange.
+//! — and which gate approved or vetoed the exchange. Runs that carry
+//! protocol-DES events additionally get a per-run protocol summary
+//! (message counts by round phase, link busy time, queue wait, decision
+//! compute, peak queue depth).
 
-use crate::event::TraceEvent;
+use crate::event::{ProtocolStep, TraceEvent};
 use crate::trace::TraceBundle;
 use std::fmt::Write;
+
+/// Per-run accumulator for protocol-DES events.
+#[derive(Default)]
+struct ProtocolSummary {
+    /// `(count, bytes)` per step, indexed in [`ProtocolStep::ALL`] order.
+    steps: [(u64, f64); ProtocolStep::ALL.len()],
+    msgs: u64,
+    link_busy: f64,
+    queue_wait: f64,
+    compute: f64,
+    peak_depth: usize,
+}
+
+impl ProtocolSummary {
+    fn is_empty(&self) -> bool {
+        self.msgs == 0 && self.compute == 0.0 && self.peak_depth == 0
+    }
+
+    fn render(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "protocol round: {} messages, link busy {:.6}s, queue wait {:.6}s, \
+             decision compute {:.6}s, peak queue depth {}",
+            self.msgs, self.link_busy, self.queue_wait, self.compute, self.peak_depth
+        );
+        for (step, &(count, bytes)) in ProtocolStep::ALL.iter().zip(&self.steps) {
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "    {key:<16} {count:>5} msgs {bytes:>14.0} B",
+                    key = step.key()
+                );
+            }
+        }
+    }
+}
 
 /// Renders the audit table for a whole bundle.
 pub fn render(bundle: &TraceBundle) -> String {
     let mut out = String::new();
     for run in &bundle.runs {
-        let decisions: Vec<&TraceEvent> = run
+        let decisions = run
             .trace
             .events
             .iter()
             .filter(|e| matches!(e, TraceEvent::SwapDecision { .. }))
-            .collect();
+            .count();
         let _ = writeln!(
             out,
             "== run {} seed {} ({} decision points) ==",
-            run.label,
-            run.seed,
-            decisions.len()
+            run.label, run.seed, decisions
         );
-        for e in decisions {
-            let TraceEvent::SwapDecision {
-                t,
-                iter,
-                old_iter_time,
-                swap_time,
-                app_improvement,
-                stopped_because,
-                admitted,
-                rejected,
-            } = e
-            else {
-                unreachable!("filtered to decisions");
-            };
-            let verb = if admitted.is_empty() { "HOLD" } else { "SWAP" };
-            let _ = writeln!(
-                out,
-                "t={t:>12.3}s iter {iter:>4}: {verb}  iter_time={old_iter_time:.3}s swap_time={swap_time:.3}s"
-            );
-            for p in admitted {
-                let _ = writeln!(
-                    out,
-                    "    + {from:>3} -> {to:<3}  old={old:.3e} new={new:.3e} gain={gain:+.1}%  \
-                     payback = ({swap_time:.3}/{old_iter_time:.3}) / (1 - {old:.3e}/{new:.3e}) = {payback:.3} iters",
-                    from = p.from,
-                    to = p.to,
-                    old = p.old_perf,
-                    new = p.new_perf,
-                    gain = p.process_improvement * 100.0,
-                    payback = p.payback,
-                );
+        let mut protocol = ProtocolSummary::default();
+        for e in &run.trace.events {
+            // Exhaustive on purpose: a new event variant must be
+            // classified here before the crate compiles.
+            match e {
+                TraceEvent::SwapDecision {
+                    t,
+                    iter,
+                    old_iter_time,
+                    swap_time,
+                    app_improvement,
+                    stopped_because,
+                    admitted,
+                    rejected,
+                } => {
+                    let verb = if admitted.is_empty() { "HOLD" } else { "SWAP" };
+                    let _ = writeln!(
+                        out,
+                        "t={t:>12.3}s iter {iter:>4}: {verb}  iter_time={old_iter_time:.3}s swap_time={swap_time:.3}s"
+                    );
+                    for p in admitted {
+                        let _ = writeln!(
+                            out,
+                            "    + {from:>3} -> {to:<3}  old={old:.3e} new={new:.3e} gain={gain:+.1}%  \
+                             payback = ({swap_time:.3}/{old_iter_time:.3}) / (1 - {old:.3e}/{new:.3e}) = {payback:.3} iters",
+                            from = p.from,
+                            to = p.to,
+                            old = p.old_perf,
+                            new = p.new_perf,
+                            gain = p.process_improvement * 100.0,
+                            payback = p.payback,
+                        );
+                    }
+                    if let Some(r) = rejected {
+                        let payback = r
+                            .payback
+                            .map(|p| format!("{p:.3} iters"))
+                            .unwrap_or_else(|| "not reached".into());
+                        let _ = writeln!(
+                            out,
+                            "    x {from:>3} -> {to:<3}  old={old:.3e} new={new:.3e} gain={gain:+.1}%  payback = {payback}",
+                            from = r.from,
+                            to = r.to,
+                            old = r.old_perf,
+                            new = r.new_perf,
+                            gain = r.process_improvement * 100.0,
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "      stopped: {stopped_because} [{key}]  app_improvement={app:+.1}%",
+                        key = stopped_because.key(),
+                        app = app_improvement * 100.0,
+                    );
+                }
+                TraceEvent::ProtocolMsg {
+                    queued,
+                    start,
+                    end,
+                    step,
+                    bytes,
+                } => {
+                    let i = ProtocolStep::ALL
+                        .iter()
+                        .position(|s| s == step)
+                        .expect("step listed in ALL");
+                    protocol.steps[i].0 += 1;
+                    protocol.steps[i].1 += bytes;
+                    protocol.msgs += 1;
+                    protocol.link_busy += end - start;
+                    protocol.queue_wait += start - queued;
+                }
+                TraceEvent::ProtocolCompute { t0, t1 } => protocol.compute += t1 - t0,
+                TraceEvent::ProtocolQueueDepth { depth, .. } => {
+                    protocol.peak_depth = protocol.peak_depth.max(*depth);
+                }
+                // Not part of the decision audit: iteration structure,
+                // load, probes, swap/checkpoint execution, and the
+                // minimpi message layer all have their own exporters.
+                TraceEvent::IterStart { .. }
+                | TraceEvent::ComputeSpan { .. }
+                | TraceEvent::IterEnd { .. }
+                | TraceEvent::Probe { .. }
+                | TraceEvent::LoadChange { .. }
+                | TraceEvent::SwapExec { .. }
+                | TraceEvent::Checkpoint { .. }
+                | TraceEvent::MsgSend { .. }
+                | TraceEvent::MsgRecv { .. }
+                | TraceEvent::Collective { .. } => {}
             }
-            if let Some(r) = rejected {
-                let payback = r
-                    .payback
-                    .map(|p| format!("{p:.3} iters"))
-                    .unwrap_or_else(|| "not reached".into());
-                let _ = writeln!(
-                    out,
-                    "    x {from:>3} -> {to:<3}  old={old:.3e} new={new:.3e} gain={gain:+.1}%  payback = {payback}",
-                    from = r.from,
-                    to = r.to,
-                    old = r.old_perf,
-                    new = r.new_perf,
-                    gain = r.process_improvement * 100.0,
-                );
-            }
-            let _ = writeln!(
-                out,
-                "      stopped: {stopped_because} [{key}]  app_improvement={app:+.1}%",
-                key = stopped_because.key(),
-                app = app_improvement * 100.0,
-            );
+        }
+        if !protocol.is_empty() {
+            protocol.render(&mut out);
         }
     }
     out
@@ -145,6 +222,57 @@ mod tests {
         assert!(text.contains("= 0.200 iters"), "{text}");
         assert!(text.contains("[payback_gate]"), "{text}");
         assert!(text.contains("x   2 -> 7"), "{text}");
+        // No protocol events → no protocol summary.
+        assert!(!text.contains("protocol round"), "{text}");
+    }
+
+    #[test]
+    fn audit_summarizes_protocol_rounds_per_step() {
+        let mut b = TraceBundle::new();
+        b.push(
+            "protocol",
+            0,
+            Trace {
+                events: vec![
+                    TraceEvent::ProtocolMsg {
+                        queued: 0.0,
+                        start: 0.0,
+                        end: 0.01,
+                        step: ProtocolStep::Report,
+                        bytes: 256.0,
+                    },
+                    TraceEvent::ProtocolQueueDepth { t: 0.0, depth: 1 },
+                    TraceEvent::ProtocolMsg {
+                        queued: 0.0,
+                        start: 0.01,
+                        end: 0.02,
+                        step: ProtocolStep::Report,
+                        bytes: 256.0,
+                    },
+                    TraceEvent::ProtocolQueueDepth { t: 0.0, depth: 2 },
+                    TraceEvent::ProtocolCompute {
+                        t0: 0.02,
+                        t1: 0.021,
+                    },
+                    TraceEvent::ProtocolMsg {
+                        queued: 0.021,
+                        start: 0.021,
+                        end: 0.2,
+                        step: ProtocolStep::StateTransfer,
+                        bytes: 1e6,
+                    },
+                    TraceEvent::ProtocolQueueDepth { t: 0.021, depth: 1 },
+                ],
+            },
+        );
+        let text = render(&b);
+        assert!(text.contains("protocol round: 3 messages"), "{text}");
+        assert!(text.contains("report"), "{text}");
+        assert!(text.contains("2 msgs"), "{text}");
+        assert!(text.contains("state_transfer"), "{text}");
+        assert!(text.contains("peak queue depth 2"), "{text}");
+        // Steps with zero messages are omitted.
+        assert!(!text.contains("probe_request"), "{text}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! checkpoints. Swap executions additionally draw a flow arrow from the
 //! vacated host's track to the receiving host's track. Load changes
 //! become counter tracks (`ph: "C"`), so the external load each host
-//! sees is visible under the compute slices it perturbs.
+//! sees is visible under the compute slices it perturbs. Protocol-DES
+//! runs add a `link` track (tid [`LINK_TID`]) of per-message slices
+//! named by round phase, a `decision compute` slice on the manager
+//! track, and a `link queue` occupancy counter.
 //!
 //! The vendored serde_json has no `json!` macro, so events are built as
 //! explicit [`Value`] trees; `Value::Map` preserves insertion order,
@@ -21,6 +24,10 @@ use serde::value::{Number, Value};
 /// Synthetic tid for the per-run swap-manager track (well above any
 /// plausible host id).
 pub const MANAGER_TID: u64 = 1_000_000;
+
+/// Synthetic tid for the per-run shared-link track carrying protocol-DES
+/// message slices.
+pub const LINK_TID: u64 = 1_000_001;
 
 fn str_v(v: impl Into<String>) -> Value {
     Value::Str(v.into())
@@ -135,6 +142,9 @@ pub fn to_chrome_trace(bundle: &TraceBundle) -> String {
                 events.push(metadata("thread_name", pid, host, format!("host {host}")));
             }
         };
+        // The shared-link track is named lazily, on the first protocol
+        // message, so non-protocol runs carry no extra metadata.
+        let mut link_named = false;
 
         for e in &run.trace.events {
             match e {
@@ -318,6 +328,52 @@ pub fn to_chrome_trace(bundle: &TraceBundle) -> String {
                     host_track(slot_t, &mut events);
                     events.push(slice(op.clone(), "collective", pid, slot_t, *t0, *t1, None));
                 }
+                TraceEvent::ProtocolMsg {
+                    queued,
+                    start,
+                    end,
+                    step,
+                    bytes,
+                } => {
+                    if !link_named {
+                        link_named = true;
+                        events.push(metadata("thread_name", pid, LINK_TID, "link".into()));
+                    }
+                    events.push(slice(
+                        step.key().to_string(),
+                        "protocol",
+                        pid,
+                        LINK_TID,
+                        *start,
+                        *end,
+                        Some(obj(vec![
+                            ("queued", f64_v(*queued)),
+                            ("queue_wait", f64_v(start - queued)),
+                            ("bytes", f64_v(*bytes)),
+                        ])),
+                    ));
+                }
+                TraceEvent::ProtocolCompute { t0, t1 } => {
+                    events.push(slice(
+                        "decision compute".into(),
+                        "protocol",
+                        pid,
+                        MANAGER_TID,
+                        *t0,
+                        *t1,
+                        None,
+                    ));
+                }
+                TraceEvent::ProtocolQueueDepth { t, depth } => {
+                    events.push(obj(vec![
+                        ("name", str_v("link queue")),
+                        ("cat", str_v("protocol")),
+                        ("ph", str_v("C")),
+                        ("ts", us(*t)),
+                        ("pid", u64_v(pid)),
+                        ("args", obj(vec![("depth", u64_v(*depth as u64))])),
+                    ]));
+                }
             }
         }
     }
@@ -432,6 +488,39 @@ mod tests {
         )
         .is_err()); // missing ts
         assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}"), Ok(0));
+    }
+
+    #[test]
+    fn protocol_events_land_on_the_link_and_manager_tracks() {
+        use crate::event::ProtocolStep;
+        let mut b = TraceBundle::new();
+        b.push(
+            "protocol",
+            0,
+            Trace {
+                events: vec![
+                    TraceEvent::ProtocolMsg {
+                        queued: 0.0,
+                        start: 0.0,
+                        end: 0.01,
+                        step: ProtocolStep::Report,
+                        bytes: 256.0,
+                    },
+                    TraceEvent::ProtocolQueueDepth { t: 0.0, depth: 1 },
+                    TraceEvent::ProtocolCompute {
+                        t0: 0.01,
+                        t1: 0.011,
+                    },
+                ],
+            },
+        );
+        let text = to_chrome_trace(&b);
+        validate_chrome_trace(&text).unwrap();
+        assert!(text.contains("\"report\""), "{text}");
+        assert!(text.contains("\"link\""), "{text}");
+        assert!(text.contains("\"decision compute\""), "{text}");
+        assert!(text.contains("\"link queue\""), "{text}");
+        assert!(text.contains(&format!("\"tid\":{LINK_TID}")), "{text}");
     }
 
     #[test]

@@ -9,6 +9,46 @@
 use serde::{Deserialize, Serialize};
 use swap_core::{RejectedSwap, StopReason, SwapPair};
 
+/// Which protocol message a [`TraceEvent::ProtocolMsg`] carries — the
+/// phases of one swap-runtime decision round (§3 of the paper), in
+/// round order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ProtocolStep {
+    /// Active handler → manager: periodic performance report (phase 1).
+    Report,
+    /// Manager → spare handler: probe request (phase 2).
+    ProbeRequest,
+    /// Spare handler → manager: probe reply (phase 2).
+    ProbeReply,
+    /// Manager → affected handler: swap directive (phase 4).
+    Directive,
+    /// Displaced handler → spare: process state transfer (phase 5).
+    StateTransfer,
+}
+
+impl ProtocolStep {
+    /// Every step, in protocol round order.
+    pub const ALL: [ProtocolStep; 5] = [
+        ProtocolStep::Report,
+        ProtocolStep::ProbeRequest,
+        ProtocolStep::ProbeReply,
+        ProtocolStep::Directive,
+        ProtocolStep::StateTransfer,
+    ];
+
+    /// Stable machine-readable key, matching the serialized form.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProtocolStep::Report => "report",
+            ProtocolStep::ProbeRequest => "probe_request",
+            ProtocolStep::ProbeReply => "probe_reply",
+            ProtocolStep::Directive => "directive",
+            ProtocolStep::StateTransfer => "state_transfer",
+        }
+    }
+}
+
 /// One trace event. Field names are part of the JSONL schema.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -92,6 +132,22 @@ pub enum TraceEvent {
         slot: usize,
         op: String,
     },
+    /// One control/data message of a protocol DES decision round,
+    /// serialized over the shared link: handed to the link at `queued`,
+    /// occupying it over `start..end`.
+    ProtocolMsg {
+        queued: f64,
+        start: f64,
+        end: f64,
+        step: ProtocolStep,
+        bytes: f64,
+    },
+    /// The manager's policy computation span in a protocol DES round
+    /// (phase 3: all probe replies in → decision ready).
+    ProtocolCompute { t0: f64, t1: f64 },
+    /// Shared-link queue occupancy in a protocol DES round, sampled
+    /// right after each message is enqueued (`depth` includes it).
+    ProtocolQueueDepth { t: f64, depth: usize },
 }
 
 impl TraceEvent {
@@ -106,9 +162,13 @@ impl TraceEvent {
             | TraceEvent::SwapDecision { t, .. }
             | TraceEvent::SwapExec { t, .. }
             | TraceEvent::Checkpoint { t, .. }
-            | TraceEvent::MsgSend { t, .. } => *t,
+            | TraceEvent::MsgSend { t, .. }
+            | TraceEvent::ProtocolQueueDepth { t, .. } => *t,
             TraceEvent::ComputeSpan { start, .. } => *start,
-            TraceEvent::MsgRecv { t0, .. } | TraceEvent::Collective { t0, .. } => *t0,
+            TraceEvent::MsgRecv { t0, .. }
+            | TraceEvent::Collective { t0, .. }
+            | TraceEvent::ProtocolCompute { t0, .. } => *t0,
+            TraceEvent::ProtocolMsg { queued, .. } => *queued,
         }
     }
 
@@ -126,6 +186,9 @@ impl TraceEvent {
             TraceEvent::MsgSend { .. } => "msg_send",
             TraceEvent::MsgRecv { .. } => "msg_recv",
             TraceEvent::Collective { .. } => "collective",
+            TraceEvent::ProtocolMsg { .. } => "protocol_msg",
+            TraceEvent::ProtocolCompute { .. } => "protocol_compute",
+            TraceEvent::ProtocolQueueDepth { .. } => "protocol_queue_depth",
         }
     }
 }
@@ -167,6 +230,15 @@ mod tests {
                 tag: 7,
                 bytes: 1024,
             },
+            TraceEvent::ProtocolMsg {
+                queued: 0.0,
+                start: 0.1,
+                end: 0.2,
+                step: ProtocolStep::ProbeReply,
+                bytes: 256.0,
+            },
+            TraceEvent::ProtocolCompute { t0: 0.2, t1: 0.21 },
+            TraceEvent::ProtocolQueueDepth { t: 0.0, depth: 3 },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();
@@ -201,5 +273,36 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: TraceEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn protocol_steps_serialize_to_their_keys() {
+        for step in ProtocolStep::ALL {
+            let json = serde_json::to_string(&step).unwrap();
+            assert_eq!(json, format!("\"{}\"", step.key()));
+            let back: ProtocolStep = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, step);
+        }
+        let keys: std::collections::HashSet<_> =
+            ProtocolStep::ALL.iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), ProtocolStep::ALL.len());
+    }
+
+    #[test]
+    fn protocol_event_times_use_the_earliest_timestamp() {
+        let msg = TraceEvent::ProtocolMsg {
+            queued: 1.0,
+            start: 2.0,
+            end: 3.0,
+            step: ProtocolStep::Report,
+            bytes: 64.0,
+        };
+        assert_eq!(msg.time(), 1.0);
+        assert_eq!(msg.kind(), "protocol_msg");
+        let compute = TraceEvent::ProtocolCompute { t0: 4.0, t1: 5.0 };
+        assert_eq!(compute.time(), 4.0);
+        let depth = TraceEvent::ProtocolQueueDepth { t: 6.0, depth: 2 };
+        assert_eq!(depth.time(), 6.0);
+        assert_eq!(depth.kind(), "protocol_queue_depth");
     }
 }

@@ -49,6 +49,43 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Bucket-interpolated quantile estimate (`q` clamped to `[0, 1]`):
+    /// walks the power-of-two buckets in numeric order until the
+    /// cumulative count reaches `q × count`, then interpolates linearly
+    /// inside the bucket's `[2^i, 2^(i+1))` range. The estimate is
+    /// clamped to the observed `[min, max]`, so single-sample and
+    /// single-bucket histograms report exact values at the extremes.
+    /// Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        // BTreeMap<String> orders lexicographically ("-1" < "-64"), so
+        // re-sort by the parsed exponent.
+        let mut buckets: Vec<(i64, u64)> = self
+            .buckets
+            .iter()
+            .map(|(k, &n)| (k.parse().unwrap_or(-64), n))
+            .collect();
+        buckets.sort_unstable_by_key(|&(i, _)| i);
+        let mut cum = 0u64;
+        for (i, n) in buckets {
+            if (cum + n) as f64 >= target {
+                let lo = (i as f64).exp2();
+                let hi = ((i + 1) as f64).exp2();
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    ((target - cum as f64) / n as f64).clamp(0.0, 1.0)
+                };
+                return Some((lo + frac * (hi - lo)).clamp(self.min, self.max));
+            }
+            cum += n;
+        }
+        Some(self.max)
+    }
 }
 
 /// The metrics registry: named counters and histograms.
@@ -86,10 +123,14 @@ impl Metrics {
     /// * `swaps_vetoed.<gate>` — decision points stopped by each gate
     ///   with no pair admitted;
     /// * `checkpoints`, `messages` — other event tallies;
+    /// * `protocol_msgs`, `protocol_msgs.<step>`, `protocol_bytes` —
+    ///   protocol-DES message traffic by round phase;
     /// * histograms `iter_time/<label>`, `payback`, `swap_transfer_secs`,
     ///   `decision_latency_sim_secs` (time from iteration end to the
     ///   decision's timestamp — zero in the discrete simulator, nonzero
-    ///   under the minimpi runtime's virtual clock).
+    ///   under the minimpi runtime's virtual clock), and the protocol
+    ///   histograms `protocol_msg_secs`, `protocol_queue_wait_secs`,
+    ///   `protocol_decision_compute_secs`, `protocol_queue_depth`.
     pub fn from_bundle(bundle: &TraceBundle) -> Self {
         let mut m = Metrics::new();
         for run in &bundle.runs {
@@ -146,6 +187,25 @@ impl Metrics {
                     }
                     TraceEvent::Probe { .. } => m.incr("probes", 1),
                     TraceEvent::LoadChange { .. } => m.incr("load_changes", 1),
+                    TraceEvent::ProtocolMsg {
+                        queued,
+                        start,
+                        end,
+                        step,
+                        bytes,
+                    } => {
+                        m.incr("protocol_msgs", 1);
+                        m.incr(&format!("protocol_msgs.{}", step.key()), 1);
+                        m.incr("protocol_bytes", *bytes as u64);
+                        m.observe("protocol_msg_secs", end - start);
+                        m.observe("protocol_queue_wait_secs", start - queued);
+                    }
+                    TraceEvent::ProtocolCompute { t0, t1 } => {
+                        m.observe("protocol_decision_compute_secs", t1 - t0);
+                    }
+                    TraceEvent::ProtocolQueueDepth { depth, .. } => {
+                        m.observe("protocol_queue_depth", *depth as f64);
+                    }
                     TraceEvent::IterStart { .. }
                     | TraceEvent::ComputeSpan { .. }
                     | TraceEvent::MsgRecv { .. } => {}
@@ -165,9 +225,11 @@ impl Metrics {
         out.push_str("histograms:\n");
         for (k, h) in &self.histograms {
             out.push_str(&format!(
-                "  {k:<32} n={} mean={:.6} min={:.6} max={:.6}\n",
+                "  {k:<32} n={} mean={:.6} p50={:.6} p95={:.6} min={:.6} max={:.6}\n",
                 h.count,
                 h.mean(),
+                h.quantile(0.50).unwrap_or(0.0),
+                h.quantile(0.95).unwrap_or(0.0),
                 h.min,
                 h.max
             ));
@@ -251,6 +313,87 @@ mod tests {
         assert_eq!(h.buckets.get("-1"), Some(&1)); // 0.5 → 2^-1
         assert_eq!(h.buckets.get("1"), Some(&1)); // 2.0 → 2^1
         assert_eq!(h.buckets.get("3"), Some(&1)); // 8.0 → 2^3
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.95), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let mut h = Histogram::default();
+        h.observe(4.0);
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_brackets_the_samples() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        assert!((1.0..=100.0).contains(&p50));
+        assert!((1.0..=100.0).contains(&p95));
+        // The true p50 is ~50 and p95 ~95; bucket interpolation is
+        // coarse (power-of-two buckets) but must land in the right
+        // bucket's range.
+        assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+        assert!((64.0..=100.0).contains(&p95), "p95 = {p95}");
+    }
+
+    #[test]
+    fn quantile_orders_negative_exponent_buckets_numerically() {
+        // "-1" < "-64" lexicographically; quantile must not be fooled.
+        let mut h = Histogram::default();
+        for v in [1e-10, 0.25, 0.5] {
+            h.observe(v);
+        }
+        let p0 = h.quantile(0.01).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p0 <= p99);
+        assert!(p0 < 0.25, "lowest quantile must come from the tiny sample");
+    }
+
+    #[test]
+    fn protocol_events_produce_counters_and_histograms() {
+        use crate::event::ProtocolStep;
+        let b = bundle_with(vec![
+            TraceEvent::ProtocolMsg {
+                queued: 0.0,
+                start: 0.0,
+                end: 0.1,
+                step: ProtocolStep::Report,
+                bytes: 256.0,
+            },
+            TraceEvent::ProtocolMsg {
+                queued: 0.0,
+                start: 0.1,
+                end: 0.2,
+                step: ProtocolStep::StateTransfer,
+                bytes: 1e6,
+            },
+            TraceEvent::ProtocolCompute { t0: 0.2, t1: 0.3 },
+            TraceEvent::ProtocolQueueDepth { t: 0.0, depth: 2 },
+        ]);
+        let m = Metrics::from_bundle(&b);
+        assert_eq!(m.counter("protocol_msgs"), 2);
+        assert_eq!(m.counter("protocol_msgs.report"), 1);
+        assert_eq!(m.counter("protocol_msgs.state_transfer"), 1);
+        assert_eq!(m.counter("protocol_bytes"), 1_000_256);
+        assert_eq!(m.histograms["protocol_msg_secs"].count, 2);
+        assert_eq!(m.histograms["protocol_queue_wait_secs"].count, 2);
+        assert!((m.histograms["protocol_decision_compute_secs"].mean() - 0.1).abs() < 1e-12);
+        assert_eq!(m.histograms["protocol_queue_depth"].max, 2.0);
+        // Render surfaces the quantile columns.
+        assert!(m.render().contains("p50="), "{}", m.render());
     }
 
     #[test]

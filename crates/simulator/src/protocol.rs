@@ -16,7 +16,15 @@
 //! link, using the `simkit` event engine. For the paper's parameters the
 //! non-transfer overhead is a few milliseconds against minute-scale
 //! iterations (see the tests and `protocol_overhead`).
+//!
+//! With [`simulate_decision_round_traced`] the round emits typed `obs`
+//! events — one [`obs::TraceEvent::ProtocolMsg`] per link message with
+//! its round phase and queued/start/end times, a queue-occupancy sample
+//! after every enqueue, and the manager's decision-compute span — so
+//! the protocol DES produces the same deterministic JSONL/Chrome traces
+//! as the strategy simulator.
 
+use obs::{ProtocolStep, SharedSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use simkit::link::SharedLink;
 use simkit::{Engine, SimTime};
@@ -94,19 +102,41 @@ impl RoundOutcome {
 
 /// Shared-link FIFO: messages queue and each occupies the link for
 /// `α + bytes/β` (a conservative serialization of what the fluid model
-/// would interleave).
+/// would interleave). With a sink attached, every send emits a
+/// [`TraceEvent::ProtocolMsg`] (queued/start/end and the round phase)
+/// plus a [`TraceEvent::ProtocolQueueDepth`] sample of how many
+/// messages are still in flight after the enqueue.
 struct LinkQueue {
     link: SharedLink,
     free_at: f64,
     busy_total: f64,
+    /// Completion times of messages still occupying or queued on the
+    /// link; drained lazily on each send to derive queue depth.
+    pending: Vec<f64>,
+    sink: Option<SharedSink>,
 }
 
 impl LinkQueue {
-    fn send(&mut self, now: f64, bytes: f64) -> f64 {
+    fn send(&mut self, now: f64, bytes: f64, step: ProtocolStep) -> f64 {
         let start = self.free_at.max(now);
         let occupancy = self.link.transfer_time(bytes);
         self.free_at = start + occupancy;
         self.busy_total += occupancy;
+        if let Some(sink) = &self.sink {
+            self.pending.retain(|&end| end > now);
+            self.pending.push(self.free_at);
+            sink.emit(TraceEvent::ProtocolMsg {
+                queued: now,
+                start,
+                end: self.free_at,
+                step,
+                bytes,
+            });
+            sink.emit(TraceEvent::ProtocolQueueDepth {
+                t: now,
+                depth: self.pending.len(),
+            });
+        }
         self.free_at
     }
 }
@@ -124,6 +154,22 @@ impl LinkQueue {
 /// # Panics
 /// Panics if `swaps` exceeds `min(n_active, n_spares)`.
 pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
+    round_with_sink(params, None)
+}
+
+/// [`simulate_decision_round`] with protocol tracing: every link message
+/// becomes a [`TraceEvent::ProtocolMsg`] (with a queue-depth sample) and
+/// the manager's policy computation a [`TraceEvent::ProtocolCompute`],
+/// all in *simulated* time, so the stream is byte-deterministic across
+/// repeated runs. The outcome is identical to the untraced round.
+///
+/// # Panics
+/// Panics if `swaps` exceeds `min(n_active, n_spares)`.
+pub fn simulate_decision_round_traced(params: &ProtocolParams, sink: &SharedSink) -> RoundOutcome {
+    round_with_sink(params, Some(sink.clone()))
+}
+
+fn round_with_sink(params: &ProtocolParams, sink: Option<SharedSink>) -> RoundOutcome {
     assert!(
         params.swaps <= params.n_active.min(params.n_spares),
         "cannot swap more processes than active/spare pairs exist"
@@ -133,6 +179,8 @@ pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
         link: params.link,
         free_at: 0.0,
         busy_total: 0.0,
+        pending: Vec::new(),
+        sink,
     }));
     let outcome = Rc::new(RefCell::new(RoundOutcome {
         decision_ready: 0.0,
@@ -145,7 +193,9 @@ pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
     // Phase 1: reports at t=0.
     let mut reports_done = 0.0f64;
     for _ in 0..params.n_active {
-        let done = queue.borrow_mut().send(0.0, params.report_bytes);
+        let done = queue
+            .borrow_mut()
+            .send(0.0, params.report_bytes, ProtocolStep::Report);
         outcome.borrow_mut().messages += 1;
         reports_done = reports_done.max(done);
     }
@@ -157,15 +207,27 @@ pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
     engine.schedule_at(SimTime::new(reports_done), move |eng| {
         let mut last_reply = eng.now().secs();
         for _ in 0..p.n_spares {
-            let req_arrives = queue2
-                .borrow_mut()
-                .send(eng.now().secs(), p.probe_request_bytes);
-            let reply_arrives = queue2.borrow_mut().send(req_arrives, p.probe_reply_bytes);
+            let req_arrives = queue2.borrow_mut().send(
+                eng.now().secs(),
+                p.probe_request_bytes,
+                ProtocolStep::ProbeRequest,
+            );
+            let reply_arrives = queue2.borrow_mut().send(
+                req_arrives,
+                p.probe_reply_bytes,
+                ProtocolStep::ProbeReply,
+            );
             outcome2.borrow_mut().messages += 2;
             last_reply = last_reply.max(reply_arrives);
         }
 
         // Phase 3: decision.
+        if let Some(sink) = &queue2.borrow().sink {
+            sink.emit(TraceEvent::ProtocolCompute {
+                t0: last_reply,
+                t1: last_reply + p.decision_compute,
+            });
+        }
         let queue3 = Rc::clone(&queue2);
         let outcome3 = Rc::clone(&outcome2);
         eng.schedule_at(SimTime::new(last_reply + p.decision_compute), move |eng| {
@@ -174,9 +236,11 @@ pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
             // Phase 4: directives to both sides of every swap.
             let mut directives_done = eng.now().secs();
             for _ in 0..(2 * p.swaps) {
-                let done = queue3
-                    .borrow_mut()
-                    .send(eng.now().secs(), p.directive_bytes);
+                let done = queue3.borrow_mut().send(
+                    eng.now().secs(),
+                    p.directive_bytes,
+                    ProtocolStep::Directive,
+                );
                 outcome3.borrow_mut().messages += 1;
                 directives_done = directives_done.max(done);
             }
@@ -188,7 +252,11 @@ pub fn simulate_decision_round(params: &ProtocolParams) -> RoundOutcome {
             eng.schedule_at(SimTime::new(directives_done), move |eng| {
                 let mut complete = eng.now().secs();
                 for _ in 0..p.swaps {
-                    let done = queue4.borrow_mut().send(eng.now().secs(), p.state_bytes);
+                    let done = queue4.borrow_mut().send(
+                        eng.now().secs(),
+                        p.state_bytes,
+                        ProtocolStep::StateTransfer,
+                    );
                     outcome4.borrow_mut().messages += 1;
                     complete = complete.max(done);
                 }
@@ -292,5 +360,85 @@ mod tests {
     #[should_panic(expected = "cannot swap")]
     fn rejects_impossible_swap_counts() {
         simulate_decision_round(&ProtocolParams::hpdc03(2, 1, 1e6, 2));
+    }
+
+    #[test]
+    fn traced_round_matches_untraced_outcome_and_message_count() {
+        let p = ProtocolParams::hpdc03(4, 28, 1e6, 2);
+        let plain = simulate_decision_round(&p);
+        let (sink, collector) = SharedSink::collector();
+        let traced = simulate_decision_round_traced(&p, &sink);
+        assert_eq!(traced, plain, "tracing must not perturb the round");
+        let trace = collector.snapshot();
+        // One ProtocolMsg + one queue-depth sample per message, plus the
+        // decision-compute span.
+        let msgs = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProtocolMsg { .. }))
+            .count();
+        let depths = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProtocolQueueDepth { .. }))
+            .count();
+        let computes = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProtocolCompute { .. }))
+            .count();
+        assert_eq!(msgs, plain.messages);
+        assert_eq!(depths, plain.messages);
+        assert_eq!(computes, 1);
+        assert_eq!(trace.events.len(), 2 * plain.messages + 1);
+    }
+
+    #[test]
+    fn traced_round_event_stream_is_deterministic() {
+        let p = ProtocolParams::hpdc03(4, 8, 1e6, 1);
+        let run = || {
+            let (sink, collector) = SharedSink::collector();
+            simulate_decision_round_traced(&p, &sink);
+            collector.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.events.is_empty());
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn traced_messages_cover_every_phase_with_busy_link_spans() {
+        let p = ProtocolParams::hpdc03(2, 2, 1e6, 1);
+        let (sink, collector) = SharedSink::collector();
+        let out = simulate_decision_round_traced(&p, &sink);
+        let trace = collector.snapshot();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut busy = 0.0;
+        let mut max_depth = 0usize;
+        for e in &trace.events {
+            match e {
+                TraceEvent::ProtocolMsg {
+                    queued,
+                    start,
+                    end,
+                    step,
+                    ..
+                } => {
+                    assert!(start >= queued, "{e:?}");
+                    assert!(end > start, "{e:?}");
+                    busy += end - start;
+                    seen.insert(step.key());
+                }
+                TraceEvent::ProtocolQueueDepth { depth, .. } => max_depth = max_depth.max(*depth),
+                _ => {}
+            }
+        }
+        for step in ProtocolStep::ALL {
+            assert!(seen.contains(step.key()), "missing phase {}", step.key());
+        }
+        assert!((busy - out.link_busy).abs() < 1e-9);
+        // Reports contend at t=0, so the queue visibly backs up.
+        assert!(max_depth >= 2, "got peak depth {max_depth}");
     }
 }
