@@ -37,7 +37,9 @@ fn bench_timeline(c: &mut Criterion) {
 
 fn bench_link(c: &mut Criterion) {
     let mut group = c.benchmark_group("fluid_link");
-    for &flows in &[4usize, 32, 128] {
+    // 512 flows is where the old rescan-per-event solver went
+    // quadratic; the sort-once sweep keeps it near-linear.
+    for &flows in &[4usize, 32, 128, 512] {
         let link = FluidLink::new(SharedLink::hpdc03_lan());
         let spec: Vec<Flow> = (0..flows)
             .map(|i| Flow {

@@ -27,6 +27,8 @@ pub fn bench_scale() -> Scale {
         // generation path itself; `parallel_speedup` compares jobs
         // settings explicitly.
         jobs: 1,
+        mtbf: None,
+        fault_seed: None,
     }
 }
 

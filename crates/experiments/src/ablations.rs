@@ -321,6 +321,8 @@ mod tests {
             sweep_points: 2,
             iterations: 3,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 
@@ -351,6 +353,8 @@ mod tests {
             sweep_points: 4,
             iterations: 6,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let fig = ablation_commmodel(&scale);
         let bsp = fig.series_named("bsp").unwrap();
@@ -383,6 +387,8 @@ mod tests {
             sweep_points: 3,
             iterations: 8,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let fig = ablation_oracle(&scale);
         let greedy = fig.series_named("greedy").unwrap();

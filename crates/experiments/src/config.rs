@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// How big an experiment to run. The figure generators keep all model
 /// parameters at paper scale and vary only the sampling effort: number of
 /// replications (seeds), sweep resolution, and iterations per run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Scale {
     /// Independent replications per sweep point.
     pub seeds: usize,
@@ -19,6 +19,15 @@ pub struct Scale {
     /// so this is a sampling-effort knob's sibling, not a model knob.
     #[serde(default)]
     pub jobs: usize,
+    /// CLI override of the fault MTBF for the `ext_faults` study
+    /// (`--mtbf`): replaces the crash MTBF of every swept point. Never
+    /// serialized — a command-line knob, not part of the figure's
+    /// identity.
+    #[serde(skip)]
+    pub mtbf: Option<f64>,
+    /// CLI override of the extra fault-stream seed (`--fault-seed`).
+    #[serde(skip)]
+    pub fault_seed: Option<u64>,
 }
 
 impl Scale {
@@ -29,6 +38,8 @@ impl Scale {
             sweep_points: 13,
             iterations: 50,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 
@@ -40,6 +51,8 @@ impl Scale {
             sweep_points: 6,
             iterations: 15,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 
@@ -97,6 +110,8 @@ mod tests {
             sweep_points: 5,
             iterations: 2,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let v = s.linspace(0.0, 1.0);
         assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
@@ -109,6 +124,8 @@ mod tests {
             sweep_points: 3,
             iterations: 2,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let v = s.logspace(1.0, 100.0);
         assert!((v[0] - 1.0).abs() < 1e-9);

@@ -14,9 +14,10 @@ use crate::config::Scale;
 use crate::figures::{onoff_duty, platform, ONOFF_Q};
 use crate::output::FigureData;
 use crate::sweep::grid_sweep;
+use faults::FaultSpec;
 use loadmodel::OnOffSource;
 use simulator::platform::LoadSpec;
-use simulator::runner::run_replicated;
+use simulator::runner::{run_replicated, run_replicated_faults};
 use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Strategy, Swap};
 use simulator::AppSpec;
 
@@ -243,13 +244,63 @@ pub fn ext_granularity(scale: &Scale) -> FigureData {
     }
 }
 
+/// Failure sweep: execution time vs per-host crash MTBF under permanent,
+/// hyperexponentially-timed crashes, for NOTHING (abort + resubmit),
+/// SWAP at two over-allocations (spares double as *replacements*: a dead
+/// active slot is a mandatory swap, recovered from the last registered
+/// snapshot), and CR (rollback to the last periodic checkpoint). The
+/// fault schedule is derived deterministically from each replication
+/// seed plus the scenario's `fault_seed`, so the figure is bit-identical
+/// across `--jobs`.
+///
+/// `--mtbf M` recenters the sweep on `[M/4, 4M]`; `--fault-seed`
+/// reseeds the fault streams without touching the platform realization.
+pub fn ext_faults(scale: &Scale) -> FigureData {
+    scale.validate();
+    let mut app = AppSpec::hpdc03(4, 1.0e8);
+    app.iterations = scale.iterations;
+    let (lo, hi) = match scale.mtbf {
+        Some(m) => (m / 4.0, m * 4.0),
+        None => (2_000.0, 64_000.0),
+    };
+    let xs = scale.logspace(lo, hi);
+    let fault_seed = scale.fault_seed.unwrap_or(0);
+    let strategies: Vec<(&str, Box<dyn Strategy>, usize)> = vec![
+        ("nothing", Box::new(Nothing), 4),
+        ("swap/8", Box::new(Swap::greedy()), 8),
+        ("swap/32", Box::new(Swap::greedy()), 32),
+        ("cr", Box::new(Cr::greedy()), 32),
+    ];
+    let series = grid_sweep(
+        scale,
+        &strategies,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, s, alloc), mtbf| {
+            let spec = platform(onoff_duty(0.5));
+            let fs = FaultSpec::crashes_only(mtbf, fault_seed);
+            run_replicated_faults(&spec, &app, s.as_ref(), *alloc, &scale.seed_list(), 1, &fs)
+                .execution_time
+                .mean
+        },
+    );
+    FigureData {
+        id: "ext_faults".into(),
+        title: "Extension: permanent host crashes (spares as replacements)".into(),
+        x_label: "per-host crash MTBF [s]".into(),
+        y_label: "execution time [s]".into(),
+        series,
+    }
+}
+
 /// All extension experiment ids.
-pub const ALL_EXTENSIONS: [&str; 5] = [
+pub const ALL_EXTENSIONS: [&str; 6] = [
     "ext_reclamation",
     "ext_dlb_swap",
     "ext_pareto",
     "ext_traces",
     "ext_granularity",
+    "ext_faults",
 ];
 
 /// Generates an extension experiment by id.
@@ -260,6 +311,7 @@ pub fn extension_by_id(id: &str, scale: &Scale) -> Option<FigureData> {
         "ext_pareto" => ext_pareto(scale),
         "ext_traces" => ext_traces(scale),
         "ext_granularity" => ext_granularity(scale),
+        "ext_faults" => ext_faults(scale),
         _ => return None,
     })
 }
@@ -274,6 +326,8 @@ mod tests {
             sweep_points: 3,
             iterations: 8,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 
@@ -329,6 +383,8 @@ mod tests {
             sweep_points: 3,
             iterations: 12,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let fig = ext_granularity(&scale);
         let greedy = fig.series_named("greedy").unwrap();
@@ -341,6 +397,37 @@ mod tests {
         assert!(
             last > 0.0,
             "coarse-grain swapping not beneficial: {last:.1}%"
+        );
+    }
+
+    #[test]
+    fn fault_sweep_rewards_spares_under_frequent_crashes() {
+        // Recenter the sweep on a short MTBF so crashes land inside these
+        // short smoke runs.
+        let scale = Scale {
+            seeds: 3,
+            sweep_points: 3,
+            iterations: 10,
+            jobs: 0,
+            mtbf: Some(2_000.0),
+            fault_seed: Some(1),
+        };
+        let fig = ext_faults(&scale);
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y > 0.0));
+        }
+        // At the shortest MTBF (most crashes), over-allocated SWAP —
+        // which replaces dead hosts from its spare pool — must beat
+        // NOTHING, which can only resubmit from scratch.
+        let nothing = fig.series_named("nothing").unwrap();
+        let swap = fig.series_named("swap/32").unwrap();
+        assert!(
+            swap.y(0) < nothing.y(0),
+            "swap {} vs nothing {} at mtbf {}",
+            swap.y(0),
+            nothing.y(0),
+            fig.series[0].points[0].0
         );
     }
 
@@ -367,6 +454,8 @@ mod tests {
             sweep_points: 3,
             iterations: 15,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let fig = ext_traces(&scale);
         let nothing = fig.series_named("nothing").unwrap();

@@ -447,6 +447,8 @@ mod tests {
             sweep_points: 2,
             iterations: 2,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         for id in ALL_FIGURES.iter().take(3) {
             assert!(by_id(id, &scale).is_some(), "{id} missing");
@@ -462,6 +464,8 @@ mod tests {
             sweep_points: 2,
             iterations: 4,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let f = fig4_techniques_vs_dynamism(&scale);
         assert_eq!(f.series.len(), 4);

@@ -59,8 +59,30 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let mtbf: Option<f64> = args
+        .iter()
+        .position(|a| a == "--mtbf")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--mtbf expects seconds (0 = faults off), got '{v}'");
+                std::process::exit(2);
+            })
+        });
+    let fault_seed: Option<u64> = args
+        .iter()
+        .position(|a| a == "--fault-seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--fault-seed expects an integer, got '{v}'");
+                std::process::exit(2);
+            })
+        });
     let mut scale = if quick { Scale::quick() } else { Scale::full() };
     scale.jobs = jobs;
+    scale.mtbf = mtbf;
+    scale.fault_seed = fault_seed;
 
     // Refuse --trace where it would be silently ignored. Figure sweeps
     // aggregate thousands of cells, so study ids trace their
@@ -68,7 +90,7 @@ fn main() {
     // sweep itself; only the analytic fig1–fig3 have nothing to trace.
     let traceable = matches!(
         args[0].as_str(),
-        "run" | "gantt" | "protocol" | "all" | "ablations" | "extensions"
+        "run" | "gantt" | "protocol" | "all" | "ablations" | "extensions" | "faults"
     ) || experiments::studies::has_study(&args[0]);
     if trace_path.is_some() && !traceable {
         eprintln!(
@@ -103,6 +125,7 @@ fn main() {
             println!("  run       execute a scenario file (swapsim run exp.json)");
             println!("  trace     run a scenario with full tracing (JSONL, Chrome trace, audit)");
             println!("  protocol  simulate one manager decision round through the link DES");
+            println!("  faults    compare strategies under deterministic fault injection");
         }
         "all" => run_figures(
             &ALL_FIGURES,
@@ -178,9 +201,16 @@ fn main() {
                     eprintln!("{path} is not a valid scenario: {e}");
                     std::process::exit(2);
                 });
-            // An explicit --jobs overrides the scenario document's knob.
+            // An explicit --jobs overrides the scenario document's knob,
+            // and --mtbf/--fault-seed override its faults block
+            // (--mtbf 0 turns fault injection off entirely).
             if args.iter().any(|a| a == "--jobs") {
                 scenario.jobs = jobs;
+            }
+            if let Some(m) = mtbf {
+                scenario.faults = Some(faults::FaultSpec::crashes_only(m, fault_seed.unwrap_or(0)));
+            } else if let (Some(fs), Some(s)) = (fault_seed, scenario.faults.as_mut()) {
+                s.fault_seed = fs;
             }
             let t0 = Instant::now();
             let results = match &trace_path {
@@ -332,6 +362,23 @@ fn main() {
             if let Some(path) = &trace_path {
                 write_trace_file(&bundle, path);
             }
+        }
+        "faults" => {
+            // swapsim faults [mtbf] [duty] [state_bytes]: every strategy
+            // against deterministic crash injection at one operating
+            // point, with failure/recovery accounting.
+            let mtbf_pos: Option<f64> = args.get(1).and_then(|s| s.parse().ok());
+            let m = mtbf.or(mtbf_pos).unwrap_or(3_000.0);
+            let duty: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+            let state: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1e8);
+            run_faults_compare(
+                m,
+                fault_seed.unwrap_or(0),
+                duty,
+                state,
+                &scale,
+                trace_path.as_deref(),
+            );
         }
         "tune" => {
             // swapsim tune [duty] [state_bytes]: grid-search the policy
@@ -597,6 +644,84 @@ fn run_compare(duty: f64, state: f64, n_active: usize, alloc: usize, scale: &Sca
     }
 }
 
+fn run_faults_compare(
+    mtbf: f64,
+    fault_seed: u64,
+    duty: f64,
+    state: f64,
+    scale: &Scale,
+    trace_path: Option<&Path>,
+) {
+    use experiments::figures::{onoff_duty, platform};
+    use simulator::runner::{run_replicated_faults, run_replicated_faults_traced};
+    use simulator::strategies::{Cr, Dlb, Nothing, Strategy, Swap};
+
+    let mut app = simulator::AppSpec::hpdc03(4, state);
+    app.iterations = scale.iterations;
+    let spec = platform(onoff_duty(duty.clamp(0.0, 0.99)));
+    let seeds = scale.seed_list();
+    let fs = faults::FaultSpec::crashes_only(mtbf, fault_seed);
+
+    println!(
+        "fault injection: crash MTBF {mtbf:.0} s/host (fault seed {fault_seed}), duty {duty}, \
+         state {state:.0} B, {} iterations, {} seeds",
+        app.iterations,
+        seeds.len()
+    );
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9}",
+        "strategy", "mean [s]", "failures", "recovered", "aborts", "stuck", "adapts"
+    );
+    let strategies: Vec<(Box<dyn Strategy>, usize)> = vec![
+        (Box::new(Nothing), 4),
+        (Box::new(Dlb), 4),
+        (Box::new(Swap::greedy()), 8),
+        (Box::new(Swap::greedy()), 32),
+        (Box::new(Cr::greedy()), 32),
+    ];
+    let mut bundle = obs::TraceBundle::new();
+    for (s, alloc) in &strategies {
+        let r = if trace_path.is_some() {
+            let (r, traces) = run_replicated_faults_traced(
+                &spec,
+                &app,
+                s.as_ref(),
+                *alloc,
+                &seeds,
+                scale.jobs,
+                &fs,
+            );
+            for (seed, trace) in seeds.iter().zip(traces) {
+                bundle.push(format!("{}/{alloc}", r.strategy), *seed, trace);
+            }
+            r
+        } else {
+            run_replicated_faults(&spec, &app, s.as_ref(), *alloc, &seeds, scale.jobs, &fs)
+        };
+        let sum = |f: fn(&simulator::RunResult) -> usize| -> usize { r.runs.iter().map(f).sum() };
+        println!(
+            "{:<12} {:>9.0} {:>9} {:>9} {:>7} {:>7} {:>9.1}",
+            format!("{}/{alloc}", r.strategy),
+            r.execution_time.mean,
+            sum(|x| x.failures),
+            sum(|x| x.recoveries),
+            sum(|x| x.aborts),
+            r.runs.iter().filter(|x| x.truncated).count(),
+            r.mean_adaptations
+        );
+    }
+    println!(
+        "\n(stuck = replications censored at the horizon after too many hosts died; \
+         SWAP recovers through its spare pool, CR rolls back to its last checkpoint, \
+         NOTHING/DLB abort and resubmit)"
+    );
+    if let Some(path) = trace_path {
+        write_trace_file(&bundle, path);
+        let metrics = obs::Metrics::from_bundle(&bundle);
+        println!("{}", metrics.render());
+    }
+}
+
 fn run_gantt(strategy_name: &str, duty: f64, seed: u64, scale: &Scale, trace_path: Option<&Path>) {
     use experiments::figures::{onoff_duty, platform};
     use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, RunContext, Strategy, Swap};
@@ -653,6 +778,6 @@ fn write_trace_file(bundle: &obs::TraceBundle, path: &Path) {
 }
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR] [--trace PATH]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim run <scenario.json> [--jobs N] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n       swapsim protocol [n_active] [n_spares] [state_bytes] [swaps] [--trace PATH]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON/metrics output is bit-identical at every setting\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json;\n                     swept study ids trace their representative scenario, and batch\n                     commands treat PATH as a directory of <id>.trace.jsonl files");
+    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR] [--trace PATH]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim faults [mtbf] [duty] [state_bytes] [--fault-seed S] [--trace PATH]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim run <scenario.json> [--jobs N] [--mtbf M] [--fault-seed S] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n       swapsim protocol [n_active] [n_spares] [state_bytes] [swaps] [--trace PATH]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON/metrics output is bit-identical at every setting\n       --mtbf M      inject permanent host crashes at MTBF M seconds (0 = off);\n                     recenters the ext_faults sweep, overrides a scenario's faults\n       --fault-seed S  extra seed for the fault streams (layer different fault\n                     schedules over identical platform realizations)\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json;\n                     swept study ids trace their representative scenario, and batch\n                     commands treat PATH as a directory of <id>.trace.jsonl files");
     std::process::exit(1);
 }

@@ -410,6 +410,8 @@ mod tests {
             sweep_points: 4,
             iterations: 20,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         };
         let checks = run_report(&scale);
         assert_eq!(checks.len(), 14);

@@ -6,9 +6,13 @@
 //! study without writing Rust. `swapsim run scenario.json` executes it;
 //! `swapsim scenario --template` prints a starting point.
 
+use faults::FaultSpec;
 use serde::{Deserialize, Serialize};
 use simulator::platform::PlatformSpec;
-use simulator::runner::{run_replicated_jobs, run_replicated_traced, ReplicatedResult};
+use simulator::runner::{
+    run_replicated_faults, run_replicated_faults_traced, run_replicated_jobs,
+    run_replicated_traced, ReplicatedResult,
+};
 use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Oracle, Strategy, Swap};
 use simulator::AppSpec;
 use swap_core::PolicyParams;
@@ -88,6 +92,12 @@ pub struct Scenario {
     pub jobs: usize,
     /// Strategies to compare, in output order.
     pub strategies: Vec<StrategyRef>,
+    /// Optional fault-injection scenario. Absent (or disabled) means the
+    /// classic fault-free simulation; present and enabled means every
+    /// strategy runs its failure-aware variant against per-seed fault
+    /// plans derived deterministically from the replication seeds.
+    #[serde(default)]
+    pub faults: Option<FaultSpec>,
 }
 
 impl Scenario {
@@ -106,6 +116,7 @@ impl Scenario {
             allocated: 32,
             replications: 8,
             jobs: 0,
+            faults: None,
             strategies: vec![
                 StrategyRef::Nothing,
                 StrategyRef::Dlb,
@@ -129,6 +140,9 @@ impl Scenario {
     /// Panics with a descriptive message on inconsistent fields.
     pub fn validate(&self) {
         self.app.validate();
+        if let Some(f) = &self.faults {
+            f.validate();
+        }
         assert!(self.replications >= 1, "need at least one replication");
         assert!(!self.strategies.is_empty(), "need at least one strategy");
         assert!(
@@ -147,14 +161,25 @@ impl Scenario {
             .iter()
             .map(|sref| {
                 let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
-                run_replicated_jobs(
-                    &self.platform,
-                    &self.app,
-                    strategy.as_ref(),
-                    alloc,
-                    &seeds,
-                    self.jobs,
-                )
+                match self.faults.as_ref().filter(|f| f.is_enabled()) {
+                    Some(f) => run_replicated_faults(
+                        &self.platform,
+                        &self.app,
+                        strategy.as_ref(),
+                        alloc,
+                        &seeds,
+                        self.jobs,
+                        f,
+                    ),
+                    None => run_replicated_jobs(
+                        &self.platform,
+                        &self.app,
+                        strategy.as_ref(),
+                        alloc,
+                        &seeds,
+                        self.jobs,
+                    ),
+                }
             })
             .collect()
     }
@@ -171,14 +196,25 @@ impl Scenario {
             .iter()
             .map(|sref| {
                 let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
-                let (result, traces) = run_replicated_traced(
-                    &self.platform,
-                    &self.app,
-                    strategy.as_ref(),
-                    alloc,
-                    &seeds,
-                    self.jobs,
-                );
+                let (result, traces) = match self.faults.as_ref().filter(|f| f.is_enabled()) {
+                    Some(f) => run_replicated_faults_traced(
+                        &self.platform,
+                        &self.app,
+                        strategy.as_ref(),
+                        alloc,
+                        &seeds,
+                        self.jobs,
+                        f,
+                    ),
+                    None => run_replicated_traced(
+                        &self.platform,
+                        &self.app,
+                        strategy.as_ref(),
+                        alloc,
+                        &seeds,
+                        self.jobs,
+                    ),
+                };
                 for (seed, trace) in seeds.iter().zip(traces) {
                     bundle.push(&result.strategy, *seed, trace);
                 }
@@ -300,6 +336,34 @@ mod tests {
             ]
         );
         assert!(bundle.event_count() > 0);
+    }
+
+    #[test]
+    fn faulted_scenario_runs_and_traces_fault_events() {
+        let mut s = Scenario::template();
+        s.replications = 2;
+        s.app.iterations = 8;
+        s.platform.horizon = 20_000.0;
+        s.faults = Some(FaultSpec::crashes_only(3_000.0, 5));
+        s.strategies = vec![
+            StrategyRef::Nothing,
+            StrategyRef::Swap {
+                policy: PolicyParams::greedy(),
+            },
+        ];
+        let (results, bundle) = s.run_traced();
+        assert_eq!(results.len(), 2);
+        let injected = bundle
+            .runs
+            .iter()
+            .flat_map(|r| &r.trace.events)
+            .filter(|e| matches!(e, obs::TraceEvent::FaultInjected { .. }))
+            .count();
+        assert!(injected > 0, "fault plan produced no events in the trace");
+        // JSON with a faults block parses back to the same scenario.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -276,6 +276,8 @@ mod tests {
             sweep_points: 2,
             iterations: 4,
             jobs: 2,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 

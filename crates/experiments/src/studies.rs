@@ -43,6 +43,7 @@ fn scenario(load: LoadSpec, app: AppSpec, strategies: Vec<StrategyRef>, scale: &
         allocated: 32,
         replications: STUDY_REPLICATIONS,
         jobs: 0,
+        faults: None,
         strategies,
     }
 }
@@ -223,6 +224,26 @@ pub fn study_scenario(id: &str, scale: &Scale) -> Option<Scenario> {
                 scale,
             )
         }
+        "ext_faults" => {
+            // Short MTBF relative to the sweep so crashes reliably land
+            // inside the small representative runs at any scale; the CLI
+            // overrides recenter/reseed the fault streams.
+            let mut s = scenario(
+                onoff_duty(0.5),
+                AppSpec::hpdc03(4, 1.0e8),
+                vec![
+                    StrategyRef::Nothing,
+                    swap(greedy),
+                    StrategyRef::Cr { policy: greedy },
+                ],
+                scale,
+            );
+            s.faults = Some(faults::FaultSpec::crashes_only(
+                scale.mtbf.unwrap_or(3_000.0),
+                scale.fault_seed.unwrap_or(0),
+            ));
+            s
+        }
         _ => return None,
     })
 }
@@ -286,6 +307,8 @@ mod tests {
             sweep_points: 2,
             iterations: 4,
             jobs: 1,
+            mtbf: None,
+            fault_seed: None,
         };
         let (results, serial) = run_study_traced("ablation_oracle", &scale).expect("scenario");
         assert_eq!(results.len(), 3);

@@ -116,6 +116,8 @@ mod tests {
             sweep_points: 2,
             iterations: 2,
             jobs,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 

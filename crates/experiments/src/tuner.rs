@@ -95,6 +95,8 @@ mod tests {
             sweep_points: 2,
             iterations: 10,
             jobs: 0,
+            mtbf: None,
+            fault_seed: None,
         }
     }
 

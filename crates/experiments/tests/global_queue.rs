@@ -14,6 +14,8 @@ fn scale_with_jobs(jobs: usize) -> Scale {
         sweep_points: 2,
         iterations: 4,
         jobs,
+        mtbf: None,
+        fault_seed: None,
     }
 }
 

@@ -11,6 +11,8 @@ fn scale_with_jobs(jobs: usize) -> Scale {
         sweep_points: 3,
         iterations: 6,
         jobs,
+        mtbf: None,
+        fault_seed: None,
     }
 }
 

@@ -1,0 +1,34 @@
+//! Deterministic fault injection for the swapping study.
+//!
+//! The paper compares SWAP against Checkpoint/Restart, but the base
+//! reproduction only models *slowdown* — no host ever dies. This crate
+//! layers a seed-derived fault model over the DES timeline: permanent
+//! crashes (hyperexponential or Weibull MTBF), transient blackouts with
+//! repair times, and degraded-bandwidth windows on the shared link.
+//!
+//! Everything is generated up front from `(master seed, fault seed)` into
+//! a [`FaultPlan`] — a pure value the executors query. That makes every
+//! fault scenario bit-reproducible across `--jobs` counts and repeated
+//! runs: no randomness is consumed during execution, and the fault
+//! streams are derived from a seed namespace disjoint from the platform
+//! realization streams, so *enabling* faults never perturbs host speeds
+//! or load traces.
+//!
+//! ```
+//! use faults::{FaultSpec, FaultPlan};
+//!
+//! let spec = FaultSpec::crashes_only(5_000.0, 1);
+//! let plan = FaultPlan::generate(&spec, 16, 50_000.0, 0);
+//! let again = FaultPlan::generate(&spec, 16, 50_000.0, 0);
+//! assert_eq!(plan, again); // bit-reproducible
+//! ```
+
+#![warn(missing_docs)]
+
+mod dist;
+mod plan;
+mod spec;
+
+pub use dist::MtbfDistribution;
+pub use plan::{FaultPlan, HostFaultSchedule, LinkDegradedWindow};
+pub use spec::FaultSpec;

@@ -1,0 +1,310 @@
+//! Concrete fault schedules, realized once per `(spec, seed)` pair.
+
+use crate::spec::FaultSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simkit::rng::{splitmix64, stream_rng};
+
+/// Salt folded into the fault stream namespace so fault draws can never
+/// collide with the platform realization streams (`stream_rng(seed, host)`).
+const FAULT_STREAM_SALT: u64 = 0xFA17_5EED_0D15_A57E;
+
+/// The shared link's stream index, far outside any plausible host range.
+const LINK_STREAM: u64 = 1 << 40;
+
+/// Everything that goes wrong on one host.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct HostFaultSchedule {
+    /// Instant of the permanent crash, if one lands inside the horizon.
+    pub crash: Option<f64>,
+    /// Transient blackout windows `(start, end)`, sorted and disjoint:
+    /// the host delivers (almost) nothing inside each window and resumes
+    /// its original behaviour on repair.
+    pub blackouts: Vec<(f64, f64)>,
+}
+
+/// One degraded-bandwidth window on the shared link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkDegradedWindow {
+    /// Window start, seconds.
+    pub start: f64,
+    /// Window end, seconds.
+    pub end: f64,
+    /// Bandwidth multiplier inside the window (`0 < factor <= 1`).
+    pub factor: f64,
+}
+
+/// A fully realized fault schedule: per-host crash/blackout timelines
+/// plus the link's degraded windows. Pure data — executors query it,
+/// never mutate it, and no randomness is consumed after generation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Per-host schedules, indexed by host id.
+    pub hosts: Vec<HostFaultSchedule>,
+    /// Degraded-bandwidth windows on the shared link, sorted, disjoint.
+    pub link: Vec<LinkDegradedWindow>,
+    /// The horizon the schedules were generated for; also used as the
+    /// censoring value for runs that can never finish.
+    pub horizon: f64,
+    /// Iterations between implicit checkpoints for failure-aware CR
+    /// (carried over from [`FaultSpec::checkpoint_every`] so executors
+    /// need only the plan).
+    pub checkpoint_every: usize,
+}
+
+/// Renewal process of `(start, end)` windows: exponential gaps with mean
+/// `gap_mean`, durations drawn by `dur`, truncated to the horizon.
+fn windows<R: Rng + ?Sized>(
+    gap_mean: f64,
+    horizon: f64,
+    rng: &mut R,
+    mut dur: impl FnMut(&mut R) -> f64,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() * gap_mean;
+        if t >= horizon {
+            return out;
+        }
+        let d = dur(rng).max(1e-6);
+        let end = (t + d).min(horizon);
+        if end > t {
+            out.push((t, end));
+        }
+        t = end;
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (useful as a neutral default).
+    pub fn empty(n_hosts: usize, horizon: f64) -> Self {
+        FaultPlan {
+            hosts: vec![HostFaultSchedule::default(); n_hosts],
+            link: Vec::new(),
+            horizon,
+            checkpoint_every: FaultSpec::disabled().checkpoint_every(),
+        }
+    }
+
+    /// Realizes the schedule for `n_hosts` hosts over `[0, horizon]`.
+    ///
+    /// Deterministic in `(spec, n_hosts, horizon, master_seed)`: each
+    /// host draws from its own [`stream_rng`] stream inside a namespace
+    /// salted away from the platform streams, so the same master seed
+    /// yields the same platform *and* the same faults regardless of
+    /// `--jobs`, and enabling faults never changes the platform draws.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid or the horizon is not positive.
+    pub fn generate(spec: &FaultSpec, n_hosts: usize, horizon: f64, master_seed: u64) -> Self {
+        spec.validate();
+        assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
+        let base =
+            splitmix64(splitmix64(master_seed) ^ splitmix64(spec.fault_seed) ^ FAULT_STREAM_SALT);
+        let hosts = (0..n_hosts)
+            .map(|h| {
+                let mut rng: StdRng = stream_rng(base, h as u64);
+                // Fixed draw order (crash, then blackouts) keeps the
+                // schedule stable when one class is toggled off — each
+                // class owns a deterministic prefix of the stream.
+                let crash = if spec.mtbf_secs > 0.0 {
+                    let t = spec.crash_dist.sample(spec.mtbf_secs, &mut rng);
+                    (t <= horizon).then_some(t)
+                } else {
+                    None
+                };
+                let blackouts = if spec.blackout_mtbf_secs > 0.0 {
+                    windows(spec.blackout_mtbf_secs, horizon, &mut rng, |r| {
+                        let u: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+                        -u.ln() * spec.blackout_repair_secs
+                    })
+                } else {
+                    Vec::new()
+                };
+                HostFaultSchedule { crash, blackouts }
+            })
+            .collect();
+        let link = if spec.link_mtbf_secs > 0.0 {
+            let mut rng: StdRng = stream_rng(base, LINK_STREAM);
+            windows(spec.link_mtbf_secs, horizon, &mut rng, |r| {
+                let u: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() * spec.link_window_secs
+            })
+            .into_iter()
+            .map(|(start, end)| LinkDegradedWindow {
+                start,
+                end,
+                factor: spec.link_factor,
+            })
+            .collect()
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            hosts,
+            link,
+            horizon,
+            checkpoint_every: spec.checkpoint_every(),
+        }
+    }
+
+    /// Whether the plan contains any fault at all.
+    pub fn is_inert(&self) -> bool {
+        self.link.is_empty()
+            && self
+                .hosts
+                .iter()
+                .all(|h| h.crash.is_none() && h.blackouts.is_empty())
+    }
+
+    /// The permanent crash instant of `host`, if any.
+    pub fn crash_time(&self, host: usize) -> Option<f64> {
+        self.hosts.get(host).and_then(|h| h.crash)
+    }
+
+    /// Whether `host` has permanently crashed by instant `t`.
+    pub fn is_crashed(&self, host: usize, t: f64) -> bool {
+        self.crash_time(host).is_some_and(|c| c <= t)
+    }
+
+    /// Host ids alive (not yet crashed) at instant `t`, in id order.
+    pub fn alive_hosts(&self, t: f64) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|&h| !self.is_crashed(h, t))
+            .collect()
+    }
+
+    /// The bandwidth multiplier in force on the shared link at `t`.
+    pub fn link_factor_at(&self, t: f64) -> f64 {
+        self.link
+            .iter()
+            .find(|w| w.start <= t && t < w.end)
+            .map_or(1.0, |w| w.factor)
+    }
+
+    /// Blackout windows of `host` (sorted, disjoint).
+    pub fn blackouts(&self, host: usize) -> &[(f64, f64)] {
+        self.hosts
+            .get(host)
+            .map_or(&[][..], |h| h.blackouts.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_spec() -> FaultSpec {
+        FaultSpec {
+            mtbf_secs: 4_000.0,
+            blackout_mtbf_secs: 2_000.0,
+            blackout_repair_secs: 200.0,
+            link_mtbf_secs: 3_000.0,
+            link_window_secs: 300.0,
+            link_factor: 0.25,
+            ..FaultSpec::disabled()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = busy_spec();
+        let a = FaultPlan::generate(&spec, 32, 50_000.0, 7);
+        let b = FaultPlan::generate(&spec, 32, 50_000.0, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_inert());
+    }
+
+    #[test]
+    fn master_and_fault_seeds_both_matter() {
+        let spec = busy_spec();
+        let base = FaultPlan::generate(&spec, 16, 50_000.0, 7);
+        assert_ne!(base, FaultPlan::generate(&spec, 16, 50_000.0, 8));
+        let reseeded = FaultSpec {
+            fault_seed: 1,
+            ..spec
+        };
+        assert_ne!(base, FaultPlan::generate(&reseeded, 16, 50_000.0, 7));
+    }
+
+    #[test]
+    fn windows_are_sorted_disjoint_and_inside_horizon() {
+        let plan = FaultPlan::generate(&busy_spec(), 24, 30_000.0, 3);
+        for h in 0..24 {
+            let mut prev_end = 0.0;
+            for &(s, e) in plan.blackouts(h) {
+                assert!(s >= prev_end && e > s && e <= 30_000.0, "({s}, {e})");
+                prev_end = e;
+            }
+            if let Some(c) = plan.crash_time(h) {
+                assert!(c > 0.0 && c <= 30_000.0);
+            }
+        }
+        let mut prev_end = 0.0;
+        for w in &plan.link {
+            assert!(w.start >= prev_end && w.end > w.start && w.factor == 0.25);
+            prev_end = w.end;
+        }
+    }
+
+    #[test]
+    fn crash_queries_answer_consistently() {
+        let spec = FaultSpec::crashes_only(2_000.0, 0);
+        let plan = FaultPlan::generate(&spec, 32, 100_000.0, 1);
+        let crashed: Vec<usize> = (0..32).filter(|&h| plan.crash_time(h).is_some()).collect();
+        assert!(
+            !crashed.is_empty(),
+            "mtbf far below horizon must crash hosts"
+        );
+        let h = crashed[0];
+        let c = plan.crash_time(h).unwrap();
+        assert!(!plan.is_crashed(h, c - 1e-9));
+        assert!(plan.is_crashed(h, c));
+        assert!(!plan.alive_hosts(c).contains(&h));
+    }
+
+    #[test]
+    fn disabling_one_class_leaves_the_others_untouched() {
+        // Each fault class draws from a deterministic prefix of the
+        // per-host stream, so toggling blackouts cannot move crashes.
+        let full = FaultPlan::generate(&busy_spec(), 16, 50_000.0, 7);
+        let crashes_only = FaultPlan::generate(
+            &FaultSpec {
+                blackout_mtbf_secs: 0.0,
+                blackout_repair_secs: 0.0,
+                link_mtbf_secs: 0.0,
+                link_window_secs: 0.0,
+                link_factor: 1.0,
+                ..busy_spec()
+            },
+            16,
+            50_000.0,
+            7,
+        );
+        for h in 0..16 {
+            assert_eq!(full.crash_time(h), crashes_only.crash_time(h), "host {h}");
+        }
+    }
+
+    #[test]
+    fn link_factor_defaults_to_unity_outside_windows() {
+        let plan = FaultPlan::generate(&busy_spec(), 4, 50_000.0, 11);
+        assert!(!plan.link.is_empty());
+        let w = plan.link[0];
+        assert_eq!(plan.link_factor_at(w.start), 0.25);
+        assert_eq!(plan.link_factor_at(w.end), 1.0);
+        if w.start > 0.0 {
+            assert_eq!(plan.link_factor_at(0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::empty(8, 1_000.0);
+        assert!(p.is_inert());
+        assert_eq!(p.alive_hosts(999.0).len(), 8);
+        assert_eq!(p.link_factor_at(5.0), 1.0);
+    }
+}

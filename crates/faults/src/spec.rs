@@ -1,0 +1,167 @@
+//! The serializable description of a fault scenario.
+
+use crate::dist::MtbfDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a fault scenario. All rates are per *host* (the shared
+/// link has its own window process); a rate of `0.0` disables that fault
+/// class, and [`FaultSpec::disabled`] disables everything.
+///
+/// The spec is a pure description: combine it with a platform size,
+/// horizon, and the run's master seed via [`crate::FaultPlan::generate`]
+/// to obtain the concrete schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Mean time to the (single, permanent) crash of each host, seconds;
+    /// `0` disables crashes.
+    #[serde(default)]
+    pub mtbf_secs: f64,
+    /// Distribution family of the crash time.
+    #[serde(default)]
+    pub crash_dist: MtbfDistribution,
+    /// Mean time between transient blackouts per host, seconds; `0`
+    /// disables blackouts.
+    #[serde(default)]
+    pub blackout_mtbf_secs: f64,
+    /// Mean blackout duration (repair time), seconds.
+    #[serde(default)]
+    pub blackout_repair_secs: f64,
+    /// Mean time between degraded-bandwidth windows on the shared link,
+    /// seconds; `0` disables link degradation.
+    #[serde(default)]
+    pub link_mtbf_secs: f64,
+    /// Mean duration of a degraded-bandwidth window, seconds.
+    #[serde(default)]
+    pub link_window_secs: f64,
+    /// Bandwidth multiplier inside a degraded window (`0 < factor <= 1`);
+    /// must be set explicitly whenever `link_mtbf_secs > 0`.
+    #[serde(default)]
+    pub link_factor: f64,
+    /// Iterations between implicit checkpoints for the failure-aware CR
+    /// strategy (its rollback granularity); `0` means the default of 5
+    /// (see [`FaultSpec::checkpoint_every`]).
+    #[serde(default)]
+    pub checkpoint_interval: usize,
+    /// Extra seed mixed into the fault streams, so different fault
+    /// scenarios can be layered over identical platform realizations.
+    #[serde(default)]
+    pub fault_seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::disabled()
+    }
+}
+
+impl FaultSpec {
+    /// A spec with every fault class turned off.
+    pub fn disabled() -> Self {
+        FaultSpec {
+            mtbf_secs: 0.0,
+            crash_dist: MtbfDistribution::default(),
+            blackout_mtbf_secs: 0.0,
+            blackout_repair_secs: 0.0,
+            link_mtbf_secs: 0.0,
+            link_window_secs: 0.0,
+            link_factor: 0.0,
+            checkpoint_interval: 0,
+            fault_seed: 0,
+        }
+    }
+
+    /// Permanent crashes only, at the given MTBF, under the default
+    /// (bursty hyperexponential) distribution.
+    pub fn crashes_only(mtbf_secs: f64, fault_seed: u64) -> Self {
+        FaultSpec {
+            mtbf_secs,
+            fault_seed,
+            ..FaultSpec::disabled()
+        }
+    }
+
+    /// Whether any fault class is active.
+    pub fn is_enabled(&self) -> bool {
+        self.mtbf_secs > 0.0 || self.blackout_mtbf_secs > 0.0 || self.link_mtbf_secs > 0.0
+    }
+
+    /// The failure-aware CR rollback granularity: `checkpoint_interval`,
+    /// with `0` standing for the default of 5 iterations.
+    pub fn checkpoint_every(&self) -> usize {
+        if self.checkpoint_interval == 0 {
+            5
+        } else {
+            self.checkpoint_interval
+        }
+    }
+
+    /// Validates every knob.
+    ///
+    /// # Panics
+    /// Panics on negative rates, a blackout rate without a repair time,
+    /// a link rate without a window duration, or a link factor outside
+    /// `(0, 1]` while link degradation is enabled.
+    pub fn validate(&self) {
+        assert!(
+            self.mtbf_secs >= 0.0 && self.mtbf_secs.is_finite(),
+            "mtbf_secs must be finite and >= 0"
+        );
+        self.crash_dist.validate();
+        assert!(self.blackout_mtbf_secs >= 0.0 && self.blackout_mtbf_secs.is_finite());
+        if self.blackout_mtbf_secs > 0.0 {
+            assert!(
+                self.blackout_repair_secs > 0.0,
+                "blackouts need a positive repair time"
+            );
+        }
+        assert!(self.link_mtbf_secs >= 0.0 && self.link_mtbf_secs.is_finite());
+        if self.link_mtbf_secs > 0.0 {
+            assert!(
+                self.link_window_secs > 0.0,
+                "link degradation needs a positive window duration"
+            );
+            assert!(
+                self.link_factor > 0.0 && self.link_factor <= 1.0,
+                "link_factor must be in (0, 1]"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spec_is_valid_and_inert() {
+        let s = FaultSpec::disabled();
+        s.validate();
+        assert!(!s.is_enabled());
+        assert_eq!(s.checkpoint_every(), 5);
+        assert!(FaultSpec::crashes_only(1000.0, 3).is_enabled());
+    }
+
+    #[test]
+    fn round_trips_through_json_with_defaults() {
+        let s = FaultSpec::crashes_only(5_000.0, 9);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Sparse documents fill in the defaults.
+        let sparse: FaultSpec = serde_json::from_str(r#"{"mtbf_secs": 2000.0}"#).unwrap();
+        assert_eq!(sparse.mtbf_secs, 2000.0);
+        assert_eq!(sparse.crash_dist, MtbfDistribution::HyperExp { cv2: 4.0 });
+        assert_eq!(sparse.checkpoint_every(), 5);
+        sparse.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "repair")]
+    fn rejects_blackouts_without_repair() {
+        FaultSpec {
+            blackout_mtbf_secs: 100.0,
+            ..FaultSpec::disabled()
+        }
+        .validate();
+    }
+}

@@ -67,6 +67,17 @@ pub struct RuntimeConfig {
     /// the process is forcibly migrated to a spare (Condor-style resource
     /// reclamation, §2); afterwards the worker never receives new work.
     pub evictions: Vec<(usize, usize)>,
+    /// Scripted host crashes, `(iteration, worker)`: the worker *fails
+    /// permanently* and the failure is detected at that iteration's
+    /// report barrier (ULFM-style — surviving ranks learn of the death at
+    /// the next collective). A crashed active slot is a **mandatory**
+    /// recovery swap: the payback arithmetic is skipped, the manager
+    /// re-forms the computation around the best available spare, and the
+    /// slot resumes from its last registered snapshot (modeled by the
+    /// displaced worker's state channel — the manager holds a copy of
+    /// every state it registered at the barrier). A crashed worker is
+    /// never probed and never a swap target again.
+    pub crashes: Vec<(usize, usize)>,
     /// When true, every swap pauses the incoming process for the
     /// *virtual* transfer time `cost.swap_time(state)` (converted to wall
     /// time through `compression`) — so the live runtime reproduces the
@@ -97,6 +108,7 @@ impl RuntimeConfig {
             loads: Vec::new(),
             compression: 1.0,
             evictions: Vec::new(),
+            crashes: Vec::new(),
             charge_swap_cost: false,
             state_size_override: None,
             trace: None,
@@ -128,6 +140,17 @@ impl RuntimeConfig {
             assert!(
                 iter >= 1 && iter < self.max_iterations,
                 "eviction at iteration {iter} can never fire (range 1..{})",
+                self.max_iterations
+            );
+        }
+        for &(iter, worker) in &self.crashes {
+            assert!(
+                worker < self.n_workers,
+                "crash references unknown worker {worker}"
+            );
+            assert!(
+                iter >= 1 && iter < self.max_iterations,
+                "crash at iteration {iter} can never fire (range 1..{})",
                 self.max_iterations
             );
         }
@@ -491,6 +514,18 @@ fn manager_loop(
         for _ in 0..n {
             let r = report_rx.recv().expect("active workers report");
             if let Some(msg) = &r.failed {
+                // Leave a forensic record before aborting: the audit must
+                // distinguish an application bug from an injected fault,
+                // because the right response differs (debug vs. recover).
+                if let Some(tr) = tracer {
+                    tr.emit(obs::TraceEvent::FailureDetected {
+                        t: tr.vnow(),
+                        host: r.worker,
+                        iter: Some(r.iter),
+                        cause: obs::FailureCause::AppPanic,
+                        detail: Some(msg.clone()),
+                    });
+                }
                 panic!(
                     "application panicked on slot {} (worker {}): {msg}",
                     r.slot, r.worker
@@ -562,6 +597,96 @@ fn manager_loop(
                 controls[w].send(Directive::Stop).expect("worker alive");
             }
             return (iter, events, placement, rounds);
+        }
+
+        // Scripted crashes surface at the barrier that just completed
+        // (ULFM-style: survivors learn of a death at the next
+        // collective). Recovery is a mandatory swap to the best
+        // remaining spare — the payback test is skipped, like a
+        // reclamation — but the trace records it as a *fault*, not an
+        // owner decision.
+        let crashed: Vec<usize> = config
+            .crashes
+            .iter()
+            .filter(|&&(at, _)| at == iter)
+            .map(|&(_, w)| w)
+            .collect();
+        if !crashed.is_empty() {
+            let mut exchanges = Vec::new();
+            for w in crashed {
+                if evicted.contains(&w) {
+                    continue;
+                }
+                if let Some(tr) = tracer {
+                    tr.emit(obs::TraceEvent::FaultInjected {
+                        t: tr.vnow(),
+                        host: Some(w),
+                        fault: obs::FaultKind::Crash,
+                        duration_secs: None,
+                        factor: None,
+                    });
+                    tr.emit(obs::TraceEvent::FailureDetected {
+                        t: tr.vnow(),
+                        host: w,
+                        iter: Some(iter - 1),
+                        cause: obs::FailureCause::InjectedCrash,
+                        detail: None,
+                    });
+                }
+                if let Some(pos) = spares.iter().position(|&s| s == w) {
+                    // A dead spare just leaves the pool.
+                    spares.swap_remove(pos);
+                    evicted.push(w);
+                    continue;
+                }
+                let slot = placement
+                    .iter()
+                    .position(|&a| a == w)
+                    .expect("worker is active or spare");
+                // Best remaining spare by most recent measurement.
+                let to = spares
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        let ra = histories[&a].last().map_or(0.0, |(_, v)| v);
+                        let rb = histories[&b].last().map_or(0.0, |(_, v)| v);
+                        ra.total_cmp(&rb).then(b.cmp(&a))
+                    })
+                    .expect("crash recovery needs an available spare");
+                spares.retain(|&s| s != to);
+                evicted.push(w);
+                let pause = pause_for(state_size);
+                if let Some(tr) = tracer {
+                    tr.emit(obs::TraceEvent::RecoveryComplete {
+                        t: tr.vnow(),
+                        host: w,
+                        replacement: Some(to),
+                        action: obs::RecoveryAction::SpareSwap,
+                        pause_secs: pause * config.compression,
+                    });
+                }
+                exchanges.push(Exchange {
+                    slot,
+                    from_worker: w,
+                    to_worker: to,
+                    payback: 0.0,
+                    pause_secs: pause,
+                });
+            }
+            emit_exchanges(tracer, &exchanges, iter, state_size, config.compression);
+            enact(
+                exchanges,
+                &mut placement,
+                &mut spares,
+                controls,
+                &mut events,
+                iter,
+            );
+            // The dead worker is parked, never a spare again.
+            for &w in &evicted {
+                spares.retain(|&s| s != w);
+            }
+            continue;
         }
 
         // Scripted owner reclamations for this round pre-empt the policy:
@@ -986,6 +1111,135 @@ mod tests {
             assert_eq!(s.iters_done, 6);
         }
         assert_eq!(report.final_placement[1], 2);
+    }
+
+    #[test]
+    fn crash_migrates_the_slot_and_preserves_results() {
+        let baseline = run_iterative(RuntimeConfig::new(2, 2, 8), SumApp);
+        let mut cfg = RuntimeConfig::new(4, 2, 8);
+        cfg.crashes = vec![(3, 0)]; // worker 0 dies after iter 3
+        let crashed = run_iterative(cfg, SumApp);
+        assert_eq!(crashed.swap_count(), 1);
+        let e = &crashed.swap_events[0];
+        assert_eq!((e.iter, e.from_worker), (3, 0));
+        assert_ne!(crashed.final_placement[0], 0, "dead worker still active");
+        // Recovery restores the registered snapshot: the computation is
+        // numerically unaffected by the crash.
+        for (a, b) in baseline.final_states.iter().zip(&crashed.final_states) {
+            assert_eq!(a.total, b.total);
+        }
+    }
+
+    #[test]
+    fn crashed_spare_is_never_chosen_as_swap_target() {
+        let mut cfg = RuntimeConfig::new(4, 2, 10);
+        // Both spares die early, then swaps are forced every iteration:
+        // the decider must no-op rather than activate a dead worker.
+        cfg.crashes = vec![(1, 2), (1, 3)];
+        cfg.decider = Decider::ForceEvery(1);
+        let report = run_iterative(cfg, SumApp);
+        assert_eq!(report.swap_count(), 0, "swapped onto a crashed worker");
+        assert_eq!(report.final_placement, vec![0, 1]);
+    }
+
+    #[test]
+    fn traced_crash_emits_fault_detection_and_recovery_events() {
+        let mut cfg = RuntimeConfig::new(4, 2, 6);
+        cfg.crashes = vec![(2, 1)];
+        let (sink, collector) = obs::SharedSink::collector();
+        cfg.trace = Some(sink);
+        let report = run_iterative(cfg, SpinApp { spin_ms: 1 });
+        assert_eq!(report.swap_count(), 1);
+
+        let trace = std::sync::Arc::try_unwrap(collector)
+            .expect("all sink handles dropped after the run")
+            .into_trace();
+        let count = |kind: &str| trace.events.iter().filter(|e| e.kind() == kind).count();
+        assert_eq!(count("fault_injected"), 1);
+        assert_eq!(count("failure_detected"), 1);
+        assert_eq!(count("recovery_complete"), 1);
+        assert!(trace.events.iter().any(|e| matches!(
+            e,
+            obs::TraceEvent::FailureDetected {
+                host: 1,
+                cause: obs::FailureCause::InjectedCrash,
+                ..
+            }
+        )));
+        assert!(trace.events.iter().any(|e| matches!(
+            e,
+            obs::TraceEvent::RecoveryComplete {
+                host: 1,
+                replacement: Some(_),
+                action: obs::RecoveryAction::SpareSwap,
+                ..
+            }
+        )));
+        // The audit log reads the crash as a fault, not an owner action.
+        let mut bundle = obs::TraceBundle::new();
+        bundle.push("crash", 0, trace);
+        let audit = obs::audit::render(&bundle);
+        assert!(audit.contains("(injected crash)"), "audit:\n{audit}");
+    }
+
+    #[test]
+    fn traced_app_panic_leaves_a_failure_record() {
+        struct Bomb;
+        impl IterativeApp for Bomb {
+            type State = u8;
+            fn init(&self, _s: usize, _n: usize) -> u8 {
+                0
+            }
+            fn iterate(&self, iter: usize, _state: &mut u8, comm: &mut SlotComm) {
+                if iter == 2 && comm.rank() == 0 {
+                    panic!("boom at iteration 2");
+                }
+            }
+        }
+        let (sink, collector) = obs::SharedSink::collector();
+        let mut cfg = RuntimeConfig::new(2, 2, 10);
+        cfg.trace = Some(sink);
+        let run =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_iterative(cfg, Bomb)));
+        assert!(run.is_err(), "panic must still abort the run");
+        // Workers may not have unwound yet, so snapshot instead of
+        // unwrapping the collector.
+        let trace = collector.snapshot();
+        let panics: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    obs::TraceEvent::FailureDetected {
+                        cause: obs::FailureCause::AppPanic,
+                        detail: Some(d),
+                        ..
+                    } if d.contains("boom")
+                )
+            })
+            .collect();
+        assert_eq!(panics.len(), 1, "events: {:?}", trace.events);
+        let mut bundle = obs::TraceBundle::new();
+        bundle.push("panic", 0, trace);
+        let audit = obs::audit::render(&bundle);
+        assert!(audit.contains("application panic: boom"), "audit:\n{audit}");
+    }
+
+    #[test]
+    #[should_panic(expected = "crash recovery needs an available spare")]
+    fn crash_without_spares_panics() {
+        let mut cfg = RuntimeConfig::new(2, 2, 5);
+        cfg.crashes = vec![(2, 0)];
+        run_iterative(cfg, SumApp);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown worker")]
+    fn crash_of_unknown_worker_rejected() {
+        let mut cfg = RuntimeConfig::new(2, 2, 5);
+        cfg.crashes = vec![(1, 9)];
+        cfg.validate();
     }
 
     #[test]

@@ -137,10 +137,51 @@ pub fn render(bundle: &TraceBundle) -> String {
                 TraceEvent::ProtocolQueueDepth { depth, .. } => {
                     protocol.peak_depth = protocol.peak_depth.max(*depth);
                 }
+                TraceEvent::FailureDetected {
+                    t,
+                    host,
+                    iter,
+                    cause,
+                    detail,
+                } => {
+                    // The audit must distinguish an injected fault from
+                    // an application panic — they demand different
+                    // responses (recover vs. debug).
+                    let why = match cause {
+                        crate::event::FailureCause::InjectedCrash => "(injected crash)".into(),
+                        crate::event::FailureCause::AppPanic => format!(
+                            "(application panic: {})",
+                            detail.as_deref().unwrap_or("no message")
+                        ),
+                    };
+                    let at = iter
+                        .map(|i| format!("iter {i:>4}"))
+                        .unwrap_or_else(|| "         ".into());
+                    let _ = writeln!(out, "t={t:>12.3}s {at}: FAIL  host {host} {why}");
+                }
+                TraceEvent::RecoveryComplete {
+                    t,
+                    host,
+                    replacement,
+                    action,
+                    pause_secs,
+                } => {
+                    let target = replacement
+                        .map(|r| format!("host {host} -> {r}"))
+                        .unwrap_or_else(|| format!("host {host}"));
+                    let _ = writeln!(
+                        out,
+                        "t={t:>12.3}s           RECOVER  {target} via {key} (pause {pause_secs:.3}s)",
+                        key = action.key(),
+                    );
+                }
                 // Not part of the decision audit: iteration structure,
-                // load, probes, swap/checkpoint execution, and the
-                // minimpi message layer all have their own exporters.
-                TraceEvent::IterStart { .. }
+                // load, probes, swap/checkpoint execution, fault
+                // injections (the failure *detection* is audited above),
+                // and the minimpi message layer all have their own
+                // exporters.
+                TraceEvent::FaultInjected { .. }
+                | TraceEvent::IterStart { .. }
                 | TraceEvent::ComputeSpan { .. }
                 | TraceEvent::IterEnd { .. }
                 | TraceEvent::Probe { .. }
@@ -273,6 +314,51 @@ mod tests {
         assert!(text.contains("peak queue depth 2"), "{text}");
         // Steps with zero messages are omitted.
         assert!(!text.contains("probe_request"), "{text}");
+    }
+
+    #[test]
+    fn audit_distinguishes_injected_crashes_from_app_panics() {
+        use crate::event::{FailureCause, RecoveryAction, TraceEvent};
+        let mut b = TraceBundle::new();
+        b.push(
+            "swap/faulty",
+            0,
+            Trace {
+                events: vec![
+                    TraceEvent::FailureDetected {
+                        t: 12.0,
+                        host: 2,
+                        iter: Some(3),
+                        cause: FailureCause::InjectedCrash,
+                        detail: None,
+                    },
+                    TraceEvent::RecoveryComplete {
+                        t: 14.0,
+                        host: 2,
+                        replacement: Some(7),
+                        action: RecoveryAction::SpareSwap,
+                        pause_secs: 2.0,
+                    },
+                    TraceEvent::FailureDetected {
+                        t: 30.0,
+                        host: 4,
+                        iter: None,
+                        cause: FailureCause::AppPanic,
+                        detail: Some("index out of bounds".into()),
+                    },
+                ],
+            },
+        );
+        let text = render(&b);
+        assert!(text.contains("FAIL  host 2 (injected crash)"), "{text}");
+        assert!(
+            text.contains("RECOVER  host 2 -> 7 via spare_swap (pause 2.000s)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("FAIL  host 4 (application panic: index out of bounds)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -374,6 +374,116 @@ pub fn to_chrome_trace(bundle: &TraceBundle) -> String {
                         ("args", obj(vec![("depth", u64_v(*depth as u64))])),
                     ]));
                 }
+                TraceEvent::FaultInjected {
+                    t,
+                    host,
+                    fault,
+                    duration_secs,
+                    factor,
+                } => {
+                    // Host faults land on the host's track; link-level
+                    // faults (host None) on the shared-link track.
+                    let tid = match host {
+                        Some(h) => {
+                            let h = *h as u64;
+                            host_track(h, &mut events);
+                            h
+                        }
+                        None => {
+                            if !link_named {
+                                link_named = true;
+                                events.push(metadata("thread_name", pid, LINK_TID, "link".into()));
+                            }
+                            LINK_TID
+                        }
+                    };
+                    let mut args = vec![(
+                        "duration_secs",
+                        duration_secs.map(f64_v).unwrap_or(Value::Null),
+                    )];
+                    if let Some(f) = factor {
+                        args.push(("factor", f64_v(*f)));
+                    }
+                    match duration_secs {
+                        // Bounded faults (blackouts, degraded windows)
+                        // draw as slices so the outage span is visible
+                        // under the compute it stalls.
+                        Some(d) => events.push(slice(
+                            format!("fault: {}", fault.key()),
+                            "fault",
+                            pid,
+                            tid,
+                            *t,
+                            *t + *d,
+                            Some(obj(args)),
+                        )),
+                        // A permanent crash is an instant — the track
+                        // simply goes quiet afterwards.
+                        None => events.push(instant(
+                            format!("fault: {}", fault.key()),
+                            "fault",
+                            pid,
+                            tid,
+                            *t,
+                            Some(obj(args)),
+                        )),
+                    }
+                }
+                TraceEvent::FailureDetected {
+                    t,
+                    host,
+                    iter,
+                    cause,
+                    detail,
+                } => {
+                    let h = *host as u64;
+                    host_track(h, &mut events);
+                    let mut args = vec![("cause", str_v(cause.key()))];
+                    if let Some(i) = iter {
+                        args.push(("iter", u64_v(*i as u64)));
+                    }
+                    if let Some(d) = detail {
+                        args.push(("detail", str_v(d.clone())));
+                    }
+                    events.push(instant(
+                        format!("failure: {}", cause.key()),
+                        "fault",
+                        pid,
+                        h,
+                        *t,
+                        Some(obj(args)),
+                    ));
+                }
+                TraceEvent::RecoveryComplete {
+                    t,
+                    host,
+                    replacement,
+                    action,
+                    pause_secs,
+                } => {
+                    let mut args = vec![
+                        ("host", u64_v(*host as u64)),
+                        (
+                            "replacement",
+                            replacement.map(|r| u64_v(r as u64)).unwrap_or(Value::Null),
+                        ),
+                    ];
+                    args.push(("action", str_v(action.key())));
+                    // `t` is the completion time; the slice spans the
+                    // pause leading up to it.
+                    events.push(slice(
+                        match replacement {
+                            Some(r) => format!("recovery {host}->{r} ({})", action.key()),
+                            None => format!("recovery host {host} ({})", action.key()),
+                        },
+                        "fault",
+                        pid,
+                        MANAGER_TID,
+                        (*t - *pause_secs).max(0.0),
+                        *t,
+                        Some(obj(args)),
+                    ));
+                }
             }
         }
     }

@@ -49,6 +49,75 @@ impl ProtocolStep {
     }
 }
 
+/// Which fault class a [`TraceEvent::FaultInjected`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultKind {
+    /// Permanent host crash — the host never comes back.
+    Crash,
+    /// Transient host blackout; the host resumes after repair.
+    Blackout,
+    /// Degraded-bandwidth window on the shared link.
+    LinkDegraded,
+}
+
+impl FaultKind {
+    /// Stable machine-readable key, matching the serialized form.
+    pub fn key(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Blackout => "blackout",
+            FaultKind::LinkDegraded => "link_degraded",
+        }
+    }
+}
+
+/// Why a [`TraceEvent::FailureDetected`] fired — the audit output
+/// distinguishes injected faults from genuine application panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FailureCause {
+    /// A crash scheduled by the fault plan.
+    InjectedCrash,
+    /// The application itself panicked on a worker.
+    AppPanic,
+}
+
+impl FailureCause {
+    /// Stable machine-readable key, matching the serialized form.
+    pub fn key(&self) -> &'static str {
+        match self {
+            FailureCause::InjectedCrash => "injected_crash",
+            FailureCause::AppPanic => "app_panic",
+        }
+    }
+}
+
+/// How a failure was absorbed, reported by
+/// [`TraceEvent::RecoveryComplete`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RecoveryAction {
+    /// A mandatory swap moved the dead slot onto a spare host.
+    SpareSwap,
+    /// The run rolled back to its last checkpoint and restarted.
+    Restart,
+    /// No recovery path existed; the run aborted (and, for strategies
+    /// that model resubmission, started over from scratch).
+    Abort,
+}
+
+impl RecoveryAction {
+    /// Stable machine-readable key, matching the serialized form.
+    pub fn key(&self) -> &'static str {
+        match self {
+            RecoveryAction::SpareSwap => "spare_swap",
+            RecoveryAction::Restart => "restart",
+            RecoveryAction::Abort => "abort",
+        }
+    }
+}
+
 /// One trace event. Field names are part of the JSONL schema.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -148,6 +217,37 @@ pub enum TraceEvent {
     /// Shared-link queue occupancy in a protocol DES round, sampled
     /// right after each message is enqueued (`depth` includes it).
     ProtocolQueueDepth { t: f64, depth: usize },
+    /// A scheduled fault from the fault plan fired. `host` is `None` for
+    /// link-level faults; `duration_secs` is `None` for permanent
+    /// crashes; `factor` is the bandwidth multiplier of a degraded-link
+    /// window.
+    FaultInjected {
+        t: f64,
+        host: Option<usize>,
+        fault: FaultKind,
+        duration_secs: Option<f64>,
+        factor: Option<f64>,
+    },
+    /// A failure became known globally (at the next collective for BSP
+    /// executions — survivors reach the barrier and the dead slot never
+    /// arrives). `detail` carries the panic message for `AppPanic`.
+    FailureDetected {
+        t: f64,
+        host: usize,
+        iter: Option<usize>,
+        cause: FailureCause,
+        detail: Option<String>,
+    },
+    /// The failure was absorbed and execution can proceed (or, for
+    /// `Abort`, was formally given up). `replacement` names the spare a
+    /// mandatory swap recovered onto.
+    RecoveryComplete {
+        t: f64,
+        host: usize,
+        replacement: Option<usize>,
+        action: RecoveryAction,
+        pause_secs: f64,
+    },
 }
 
 impl TraceEvent {
@@ -163,7 +263,10 @@ impl TraceEvent {
             | TraceEvent::SwapExec { t, .. }
             | TraceEvent::Checkpoint { t, .. }
             | TraceEvent::MsgSend { t, .. }
-            | TraceEvent::ProtocolQueueDepth { t, .. } => *t,
+            | TraceEvent::ProtocolQueueDepth { t, .. }
+            | TraceEvent::FaultInjected { t, .. }
+            | TraceEvent::FailureDetected { t, .. }
+            | TraceEvent::RecoveryComplete { t, .. } => *t,
             TraceEvent::ComputeSpan { start, .. } => *start,
             TraceEvent::MsgRecv { t0, .. }
             | TraceEvent::Collective { t0, .. }
@@ -189,6 +292,9 @@ impl TraceEvent {
             TraceEvent::ProtocolMsg { .. } => "protocol_msg",
             TraceEvent::ProtocolCompute { .. } => "protocol_compute",
             TraceEvent::ProtocolQueueDepth { .. } => "protocol_queue_depth",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FailureDetected { .. } => "failure_detected",
+            TraceEvent::RecoveryComplete { .. } => "recovery_complete",
         }
     }
 }
@@ -239,6 +345,41 @@ mod tests {
             },
             TraceEvent::ProtocolCompute { t0: 0.2, t1: 0.21 },
             TraceEvent::ProtocolQueueDepth { t: 0.0, depth: 3 },
+            TraceEvent::FaultInjected {
+                t: 120.0,
+                host: Some(3),
+                fault: FaultKind::Crash,
+                duration_secs: None,
+                factor: None,
+            },
+            TraceEvent::FaultInjected {
+                t: 50.0,
+                host: None,
+                fault: FaultKind::LinkDegraded,
+                duration_secs: Some(30.0),
+                factor: Some(0.25),
+            },
+            TraceEvent::FailureDetected {
+                t: 130.0,
+                host: 3,
+                iter: Some(7),
+                cause: FailureCause::InjectedCrash,
+                detail: None,
+            },
+            TraceEvent::FailureDetected {
+                t: 9.0,
+                host: 1,
+                iter: None,
+                cause: FailureCause::AppPanic,
+                detail: Some("boom".to_owned()),
+            },
+            TraceEvent::RecoveryComplete {
+                t: 147.0,
+                host: 3,
+                replacement: Some(17),
+                action: RecoveryAction::SpareSwap,
+                pause_secs: 16.7,
+            },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();
@@ -286,6 +427,37 @@ mod tests {
         let keys: std::collections::HashSet<_> =
             ProtocolStep::ALL.iter().map(|s| s.key()).collect();
         assert_eq!(keys.len(), ProtocolStep::ALL.len());
+    }
+
+    #[test]
+    fn fault_enums_serialize_to_their_keys() {
+        for (json, key) in [
+            (serde_json::to_string(&FaultKind::Crash).unwrap(), "crash"),
+            (
+                serde_json::to_string(&FaultKind::LinkDegraded).unwrap(),
+                "link_degraded",
+            ),
+            (
+                serde_json::to_string(&FailureCause::InjectedCrash).unwrap(),
+                "injected_crash",
+            ),
+            (
+                serde_json::to_string(&FailureCause::AppPanic).unwrap(),
+                "app_panic",
+            ),
+            (
+                serde_json::to_string(&RecoveryAction::SpareSwap).unwrap(),
+                "spare_swap",
+            ),
+            (
+                serde_json::to_string(&RecoveryAction::Abort).unwrap(),
+                "abort",
+            ),
+        ] {
+            assert_eq!(json, format!("\"{key}\""));
+        }
+        assert_eq!(FaultKind::Blackout.key(), "blackout");
+        assert_eq!(RecoveryAction::Restart.key(), "restart");
     }
 
     #[test]

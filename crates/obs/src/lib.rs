@@ -28,7 +28,7 @@ pub mod metrics;
 pub mod sink;
 pub mod trace;
 
-pub use event::{ProtocolStep, TraceEvent};
+pub use event::{FailureCause, FaultKind, ProtocolStep, RecoveryAction, TraceEvent};
 pub use metrics::{Histogram, Metrics};
 pub use sink::{Collector, NullSink, SharedSink, TraceSink};
 pub use trace::{RunTrace, Trace, TraceBundle};

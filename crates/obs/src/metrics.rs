@@ -125,6 +125,10 @@ impl Metrics {
     /// * `checkpoints`, `messages` — other event tallies;
     /// * `protocol_msgs`, `protocol_msgs.<step>`, `protocol_bytes` —
     ///   protocol-DES message traffic by round phase;
+    /// * `faults_injected`, `faults_injected.<kind>`,
+    ///   `failures_detected`, `failures_detected.<cause>`, `recoveries`,
+    ///   `recoveries.<action>` — fault-injection tallies, plus the
+    ///   `recovery_pause_secs` histogram of time lost to each recovery;
     /// * histograms `iter_time/<label>`, `payback`, `swap_transfer_secs`,
     ///   `decision_latency_sim_secs` (time from iteration end to the
     ///   decision's timestamp — zero in the discrete simulator, nonzero
@@ -205,6 +209,21 @@ impl Metrics {
                     }
                     TraceEvent::ProtocolQueueDepth { depth, .. } => {
                         m.observe("protocol_queue_depth", *depth as f64);
+                    }
+                    TraceEvent::FaultInjected { fault, .. } => {
+                        m.incr("faults_injected", 1);
+                        m.incr(&format!("faults_injected.{}", fault.key()), 1);
+                    }
+                    TraceEvent::FailureDetected { cause, .. } => {
+                        m.incr("failures_detected", 1);
+                        m.incr(&format!("failures_detected.{}", cause.key()), 1);
+                    }
+                    TraceEvent::RecoveryComplete {
+                        action, pause_secs, ..
+                    } => {
+                        m.incr("recoveries", 1);
+                        m.incr(&format!("recoveries.{}", action.key()), 1);
+                        m.observe("recovery_pause_secs", *pause_secs);
                     }
                     TraceEvent::IterStart { .. }
                     | TraceEvent::ComputeSpan { .. }
@@ -394,6 +413,50 @@ mod tests {
         assert_eq!(m.histograms["protocol_queue_depth"].max, 2.0);
         // Render surfaces the quantile columns.
         assert!(m.render().contains("p50="), "{}", m.render());
+    }
+
+    #[test]
+    fn fault_events_produce_counters_and_pause_histogram() {
+        use crate::event::{FailureCause, FaultKind, RecoveryAction};
+        let b = bundle_with(vec![
+            TraceEvent::FaultInjected {
+                t: 10.0,
+                host: Some(2),
+                fault: FaultKind::Crash,
+                duration_secs: None,
+                factor: None,
+            },
+            TraceEvent::FaultInjected {
+                t: 20.0,
+                host: None,
+                fault: FaultKind::LinkDegraded,
+                duration_secs: Some(5.0),
+                factor: Some(0.25),
+            },
+            TraceEvent::FailureDetected {
+                t: 12.0,
+                host: 2,
+                iter: Some(3),
+                cause: FailureCause::InjectedCrash,
+                detail: None,
+            },
+            TraceEvent::RecoveryComplete {
+                t: 14.0,
+                host: 2,
+                replacement: Some(7),
+                action: RecoveryAction::SpareSwap,
+                pause_secs: 2.0,
+            },
+        ]);
+        let m = Metrics::from_bundle(&b);
+        assert_eq!(m.counter("faults_injected"), 2);
+        assert_eq!(m.counter("faults_injected.crash"), 1);
+        assert_eq!(m.counter("faults_injected.link_degraded"), 1);
+        assert_eq!(m.counter("failures_detected"), 1);
+        assert_eq!(m.counter("failures_detected.injected_crash"), 1);
+        assert_eq!(m.counter("recoveries"), 1);
+        assert_eq!(m.counter("recoveries.spare_swap"), 1);
+        assert!((m.histograms["recovery_pause_secs"].mean() - 2.0).abs() < 1e-12);
     }
 
     #[test]

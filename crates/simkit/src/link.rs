@@ -60,6 +60,22 @@ impl SharedLink {
         }
         self.latency + (n as f64) * bytes / self.bandwidth
     }
+
+    /// The same link with its bandwidth scaled by `factor` — how a
+    /// degraded-bandwidth fault window is modelled (latency unchanged).
+    ///
+    /// # Panics
+    /// Panics unless `factor` is positive and finite.
+    pub fn scaled(&self, factor: f64) -> SharedLink {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bandwidth factor must be positive"
+        );
+        SharedLink {
+            latency: self.latency,
+            bandwidth: self.bandwidth * factor,
+        }
+    }
 }
 
 /// One flow offered to a [`FluidLink`].
@@ -95,10 +111,99 @@ impl FluidLink {
     /// Simulates the given flows and returns their completion instants, in
     /// the same order as the input.
     ///
-    /// Runs in `O(F² )` worst case over `F` flows (each completion rescans
-    /// the active set), which is ample for the per-iteration flow counts
-    /// (≤ a few dozen) this workspace produces.
+    /// Runs in `O(F log F)` over `F` flows: arrivals are sorted once, and
+    /// the equal-share dynamics are folded into a single *virtual service*
+    /// accumulator `S(t)` advancing at `β / n(t)` bytes per flow — a flow
+    /// arriving at `a` with `b` bytes finishes when `S` reaches
+    /// `S(a) + b`, so completions pop off a min-heap of thresholds
+    /// instead of rescanning the active set (the prior quadratic
+    /// behaviour, kept as [`Self::completion_times_rescan`]).
     pub fn completion_times(&self, flows: &[Flow]) -> Vec<f64> {
+        /// Heap entry ordered by threshold (then index, for determinism).
+        #[derive(PartialEq)]
+        struct Thresh(f64, usize);
+        impl Eq for Thresh {}
+        impl PartialOrd for Thresh {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Thresh {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut done = vec![0.0f64; flows.len()];
+        // Flows begin moving data after the latency.
+        let mut arrivals: Vec<(f64, usize)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                assert!(f.bytes >= 0.0 && f.start >= 0.0, "invalid flow {i}");
+                (f.start + self.link.latency, i)
+            })
+            .collect();
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut arrivals = arrivals.into_iter().peekable();
+
+        // Same retirement tolerance as the rescan reference, expressed in
+        // service units (both are bytes).
+        let tol = 1e-9 * self.link.bandwidth.max(1.0);
+        let mut heap: BinaryHeap<Reverse<Thresh>> = BinaryHeap::new();
+        let mut now = 0.0f64;
+        let mut served = 0.0f64; // S(now): bytes delivered per always-on flow
+        loop {
+            let next_arrival = arrivals.peek().map_or(f64::INFINITY, |&(t, _)| t);
+            let Some(Reverse(Thresh(thresh, _))) = heap.peek() else {
+                // Idle link: jump to the next arrival (S does not advance).
+                let Some((t, idx)) = arrivals.next() else {
+                    break;
+                };
+                now = now.max(t);
+                if flows[idx].bytes == 0.0 {
+                    done[idx] = now;
+                } else {
+                    heap.push(Reverse(Thresh(served + flows[idx].bytes, idx)));
+                }
+                continue;
+            };
+            let rate = self.link.bandwidth / heap.len() as f64;
+            let t_finish = now + (thresh - served) / rate;
+            if t_finish <= next_arrival {
+                // Completion first on ties, like the rescan reference.
+                served = *thresh;
+                now = t_finish;
+                while let Some(&Reverse(Thresh(th, idx))) = heap.peek() {
+                    if th - served <= tol {
+                        done[idx] = now;
+                        heap.pop();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                let (t, idx) = arrivals.next().expect("peeked arrival");
+                served += rate * (t - now);
+                now = t;
+                if flows[idx].bytes == 0.0 {
+                    done[idx] = now;
+                } else {
+                    heap.push(Reverse(Thresh(served + flows[idx].bytes, idx)));
+                }
+            }
+        }
+        done
+    }
+
+    /// The original `O(F²)` event loop (every completion rescans the
+    /// active set). Kept verbatim as the differential-testing and
+    /// benchmarking reference for [`Self::completion_times`]; not used by
+    /// the simulation paths.
+    pub fn completion_times_rescan(&self, flows: &[Flow]) -> Vec<f64> {
         #[derive(Clone, Copy)]
         struct Active {
             idx: usize,
@@ -265,7 +370,51 @@ mod tests {
         assert_eq!(done, vec![2.1]);
     }
 
+    #[test]
+    fn sweep_matches_rescan_on_a_dense_pattern() {
+        // Many overlapping flows with staggered starts, repeated sizes,
+        // and zero-byte probes: every structural case in one input.
+        let f = FluidLink::new(SharedLink::new(0.05, 1000.0));
+        let flows: Vec<Flow> = (0..200)
+            .map(|i| Flow {
+                start: (i % 17) as f64 * 0.3,
+                bytes: ((i * 37) % 5) as f64 * 500.0, // includes zero-byte
+            })
+            .collect();
+        let sweep = f.completion_times(&flows);
+        let rescan = f.completion_times_rescan(&flows);
+        for (i, (a, b)) in sweep.iter().zip(&rescan).enumerate() {
+            assert!((a - b).abs() < 1e-6, "flow {i}: sweep {a} vs rescan {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_link_stretches_transfers() {
+        let l = SharedLink::new(0.1, 1000.0);
+        let slow = l.scaled(0.25);
+        assert_eq!(slow.latency, 0.1);
+        assert_eq!(slow.transfer_time(1000.0), 0.1 + 4.0);
+    }
+
     proptest! {
+        /// The event sweep agrees with the quadratic rescan reference on
+        /// arbitrary flow patterns.
+        #[test]
+        fn prop_sweep_matches_rescan(
+            specs in proptest::collection::vec((0.0f64..10.0, 0.0f64..10_000.0), 1..40)
+        ) {
+            let f = FluidLink::new(SharedLink::new(0.05, 1000.0));
+            let flows: Vec<Flow> = specs
+                .iter()
+                .map(|&(start, bytes)| Flow { start, bytes })
+                .collect();
+            let sweep = f.completion_times(&flows);
+            let rescan = f.completion_times_rescan(&flows);
+            for (i, (a, b)) in sweep.iter().zip(&rescan).enumerate() {
+                prop_assert!((a - b).abs() < 1e-6, "flow {i}: sweep {a} vs rescan {b}");
+            }
+        }
+
         /// Work conservation: the last completion can never beat the time
         /// needed to push all bytes through the link from the first start,
         /// nor be slower than serializing everything from the last start.

@@ -198,6 +198,48 @@ impl Timeline {
         Timeline::from_points(self.points.iter().map(|&(t, v)| (t, f(v))))
     }
 
+    /// Returns a copy with `value` overriding the function inside each
+    /// `[start, end)` window, resuming the original values on exit — how
+    /// a transient outage (e.g. a host blackout) is spliced into a
+    /// competing-load timeline without touching the rest of the trace.
+    ///
+    /// # Panics
+    /// Panics if the windows are not sorted, disjoint, and non-negative,
+    /// or if `value` is negative or non-finite.
+    pub fn splice(&self, windows: &[(f64, f64)], value: f64) -> Timeline {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "spliced value must be finite and non-negative"
+        );
+        let mut prev_end = 0.0f64;
+        for &(s, e) in windows {
+            assert!(
+                s >= prev_end && e > s && s >= 0.0,
+                "splice windows must be sorted, disjoint, and non-negative"
+            );
+            prev_end = e;
+        }
+        if windows.is_empty() {
+            return self.clone();
+        }
+        // Candidate breakpoints: the original ones plus every window
+        // edge; evaluate the composed function at each and let
+        // `from_points` coalesce equal runs.
+        let mut times: Vec<f64> = self.points.iter().map(|&(t, _)| t).collect();
+        times.extend(windows.iter().flat_map(|&(s, e)| [s, e]));
+        times.push(0.0);
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+        let composed = |t: f64| {
+            if windows.iter().any(|&(s, e)| s <= t && t < e) {
+                value
+            } else {
+                self.value_at(t)
+            }
+        };
+        Timeline::from_points(times.into_iter().map(|t| (t, composed(t))))
+    }
+
     /// Pointwise combination of two timelines: the result at time `t` is
     /// `f(self(t), other(t))`. Breakpoints are the union of both inputs'.
     pub fn zip_with<F: FnMut(f64, f64) -> f64>(&self, other: &Timeline, mut f: F) -> Timeline {
@@ -348,6 +390,29 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_values() {
         Timeline::constant(-1.0);
+    }
+
+    #[test]
+    fn splice_overrides_windows_and_resumes() {
+        let t = steps(); // 1 on [0,10), 0.5 on [10,20), 0 on [20,30), 2 after
+        let s = t.splice(&[(5.0, 12.0), (25.0, 40.0)], 9.0);
+        assert_eq!(s.value_at(4.9), 1.0);
+        assert_eq!(s.value_at(5.0), 9.0);
+        assert_eq!(s.value_at(11.9), 9.0);
+        assert_eq!(s.value_at(12.0), 0.5); // resumes the underlying trace
+        assert_eq!(s.value_at(24.0), 0.0);
+        assert_eq!(s.value_at(30.0), 9.0); // second window still in force
+        assert_eq!(s.value_at(40.0), 2.0);
+        // Empty windows: unchanged.
+        assert_eq!(t.splice(&[], 9.0), t);
+        // A window starting at 0 overrides the head.
+        assert_eq!(steps().splice(&[(0.0, 1.0)], 7.0).value_at(0.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted, disjoint")]
+    fn splice_rejects_overlapping_windows() {
+        steps().splice(&[(0.0, 5.0), (4.0, 6.0)], 1.0);
     }
 
     #[test]

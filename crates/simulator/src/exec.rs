@@ -51,6 +51,22 @@ pub struct RunResult {
     pub adapt_time_total: f64,
     /// Per-iteration details.
     pub iterations: Vec<IterationRecord>,
+    /// Process failures detected (injected crashes of active hosts).
+    /// Fault bookkeeping is excluded from serialization so artifacts of
+    /// fault-free runs stay byte-identical to earlier versions.
+    #[serde(skip)]
+    pub failures: usize,
+    /// Successful recoveries (spare swaps, checkpoint restarts).
+    #[serde(skip)]
+    pub recoveries: usize,
+    /// Aborts followed by resubmission from scratch (NOTHING/DLB have no
+    /// recovery mechanism).
+    #[serde(skip)]
+    pub aborts: usize,
+    /// The run could not finish (too few surviving hosts);
+    /// `execution_time` is censored at the fault plan's horizon.
+    #[serde(skip)]
+    pub truncated: bool,
 }
 
 impl RunResult {
@@ -147,6 +163,119 @@ pub fn run_iteration(
 /// a swap handler reports for a spare processor.
 pub fn probe_host(platform: &Platform, host: usize, t0: f64, t1: f64) -> f64 {
     platform.hosts[host].mean_delivered(t0, t1.max(t0))
+}
+
+/// One iteration attempted under a fault plan: either it completed, or
+/// one or more active hosts crashed before the collective.
+#[derive(Clone, Debug)]
+pub struct FaultedIteration {
+    /// The iteration as it would have unfolded with no crash. Only
+    /// meaningful when `failed` is empty — strategies must discard it
+    /// (and re-run the iteration after recovering) otherwise.
+    pub outcome: IterationOutcome,
+    /// Active hosts whose permanent crash lands inside this iteration,
+    /// in `active` order. Empty means the iteration completed.
+    pub failed: Vec<usize>,
+    /// When the failure is *detected* (ULFM semantics: the death is
+    /// reported at the next collective): the survivors must reach the
+    /// barrier and the crash must have happened, so this is the max of
+    /// the survivors' compute completions and the failed hosts' crash
+    /// instants. Equal to `outcome.end` when nothing failed.
+    pub detected: f64,
+}
+
+/// Like [`run_iteration`], but under a [`faults::FaultPlan`]: blackouts
+/// are already folded into the host load timelines (see
+/// [`Platform::apply_blackouts`]), so this adds the two fault effects the
+/// timelines cannot express — permanent crashes (an active host whose
+/// crash instant falls inside the iteration fails it) and
+/// degraded-bandwidth windows on the shared link (the communication phase
+/// runs at the scaled bandwidth in force when it starts).
+///
+/// # Panics
+/// Same contract as [`run_iteration`].
+pub fn run_iteration_faults(
+    platform: &Platform,
+    app: &AppSpec,
+    active: &[usize],
+    work: &[f64],
+    t0: f64,
+    plan: &faults::FaultPlan,
+) -> FaultedIteration {
+    assert_eq!(active.len(), work.len(), "active/work length mismatch");
+    assert!(!active.is_empty(), "iteration needs at least one process");
+
+    let mut compute_end = t0;
+    let mut completions = Vec::with_capacity(active.len());
+    for (&host, &w) in active.iter().zip(work) {
+        let done = platform.hosts[host].cpu.completion_time(t0, w);
+        assert!(
+            done.is_finite(),
+            "host {host} can never finish {w} flops from t={t0}"
+        );
+        completions.push(done);
+        compute_end = compute_end.max(done);
+    }
+
+    let measured_rates: Vec<f64> = active
+        .iter()
+        .zip(work)
+        .zip(&completions)
+        .map(|((&host, &w), &done)| {
+            if done > t0 && w > 0.0 {
+                w / (done - t0)
+            } else {
+                platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
+            }
+        })
+        .collect();
+
+    // Communication at the (possibly degraded) bandwidth in force when
+    // the barrier is reached. The unscaled link is used verbatim when no
+    // window applies, so fault plans without link faults cannot perturb
+    // the arithmetic.
+    let factor = plan.link_factor_at(compute_end);
+    let link = if factor < 1.0 {
+        platform.link.scaled(factor)
+    } else {
+        platform.link
+    };
+    let comm = link.bulk_transfer_time(active.len(), app.bytes_per_proc_iter);
+    let end = compute_end + comm;
+
+    // A host fails the iteration if its crash lands before the iteration
+    // would have completed (compute or communication phase alike: the
+    // collective cannot complete without it).
+    let failed: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|&h| plan.crash_time(h).is_some_and(|c| c <= end))
+        .collect();
+    let detected = if failed.is_empty() {
+        end
+    } else {
+        let survivors = active
+            .iter()
+            .zip(&completions)
+            .filter(|(h, _)| !failed.contains(h))
+            .map(|(_, &done)| done)
+            .fold(t0, f64::max);
+        let last_crash = failed
+            .iter()
+            .filter_map(|&h| plan.crash_time(h))
+            .fold(t0, f64::max);
+        survivors.max(last_crash)
+    };
+    FaultedIteration {
+        outcome: IterationOutcome {
+            compute_end,
+            end,
+            measured_rates,
+            completions,
+        },
+        failed,
+        detected,
+    }
 }
 
 /// Alternative communication model: **eager overlap**. Each process

@@ -118,6 +118,10 @@ mod tests {
                     active: vec![0, 2],
                 },
             ],
+            failures: 0,
+            recoveries: 0,
+            aborts: 0,
+            truncated: false,
         }
     }
 
@@ -174,6 +178,10 @@ mod tests {
                     active: vec![0, 1],
                 },
             ],
+            failures: 0,
+            recoveries: 0,
+            aborts: 0,
+            truncated: false,
         }
     }
 

@@ -41,5 +41,5 @@ pub mod strategies;
 pub use app::AppSpec;
 pub use exec::{IterationRecord, RunResult};
 pub use platform::{Host, LoadSpec, Platform, PlatformSpec};
-pub use runner::{run_replicated, Summary};
+pub use runner::{run_replicated, run_replicated_faults, Summary};
 pub use strategies::{Cr, Dlb, DlbSwap, Nothing, Strategy, Swap};

@@ -54,11 +54,47 @@ pub struct Platform {
     pub startup_per_process: f64,
 }
 
+/// Competing-load level spliced into a host's timeline during a transient
+/// blackout: the host delivers `speed / (1 + 10^6)` — effectively nothing,
+/// but still finite, so computations stall through the outage instead of
+/// deadlocking the completion-time solver.
+pub const BLACKOUT_LOAD: f64 = 1e6;
+
 impl Platform {
     /// Total startup time for `allocated` processes (the over-allocation
     /// price: startup is paid for spares too).
     pub fn startup_time(&self, allocated: usize) -> f64 {
         self.startup_per_process * allocated as f64
+    }
+
+    /// Folds a fault plan's transient blackouts into the host load
+    /// timelines: inside each blackout window the host's competing load
+    /// is overridden to [`BLACKOUT_LOAD`] (delivered speed collapses to
+    /// ~one-millionth), and the original trace resumes on repair. Hosts
+    /// without blackouts are untouched, so an inert plan returns a
+    /// platform with bit-identical behaviour.
+    pub fn apply_blackouts(&self, plan: &faults::FaultPlan) -> Platform {
+        let hosts = self
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let windows = plan.blackouts(i);
+                if windows.is_empty() {
+                    h.clone()
+                } else {
+                    Host {
+                        speed: h.speed,
+                        cpu: Cpu::new(h.speed, h.cpu.load().splice(windows, BLACKOUT_LOAD)),
+                    }
+                }
+            })
+            .collect();
+        Platform {
+            hosts,
+            link: self.link,
+            startup_per_process: self.startup_per_process,
+        }
     }
 }
 

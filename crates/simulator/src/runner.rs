@@ -163,7 +163,62 @@ pub fn run_replicated_jobs(
     seeds: &[u64],
     jobs: usize,
 ) -> ReplicatedResult {
-    run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, false).0
+    run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, false, None).0
+}
+
+/// Like [`run_replicated_jobs`], with deterministic fault injection.
+///
+/// For each seed a [`faults::FaultPlan`] is generated from the spec and
+/// the replication seed, the host timelines gain the plan's blackout
+/// windows, and the strategy runs its failure-aware variant. A disabled
+/// spec (`faults.is_enabled() == false`) takes exactly the fault-free
+/// code path, so results are bit-identical to [`run_replicated_jobs`].
+pub fn run_replicated_faults(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+    faults: &faults::FaultSpec,
+) -> ReplicatedResult {
+    run_replicated_inner(
+        spec,
+        app,
+        strategy,
+        allocated,
+        seeds,
+        jobs,
+        false,
+        Some(faults),
+    )
+    .0
+}
+
+/// Traced form of [`run_replicated_faults`]: every injected fault
+/// (crashes, blackout windows, link-degradation windows) is appended to
+/// the trace as [`obs::TraceEvent::FaultInjected`], clipped to the run's
+/// span, alongside the strategies' detection/recovery events.
+pub fn run_replicated_faults_traced(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+    faults: &faults::FaultSpec,
+) -> (ReplicatedResult, Vec<obs::Trace>) {
+    let (result, traces) = run_replicated_inner(
+        spec,
+        app,
+        strategy,
+        allocated,
+        seeds,
+        jobs,
+        true,
+        Some(faults),
+    );
+    (result, traces.expect("tracing was requested"))
 }
 
 /// Like [`run_replicated_jobs`], additionally recording each seed's
@@ -182,10 +237,12 @@ pub fn run_replicated_traced(
     seeds: &[u64],
     jobs: usize,
 ) -> (ReplicatedResult, Vec<obs::Trace>) {
-    let (result, traces) = run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, true);
+    let (result, traces) =
+        run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, true, None);
     (result, traces.expect("tracing was requested"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_replicated_inner(
     spec: &PlatformSpec,
     app: &AppSpec,
@@ -194,13 +251,23 @@ fn run_replicated_inner(
     seeds: &[u64],
     jobs: usize,
     trace: bool,
+    faults: Option<&faults::FaultSpec>,
 ) -> (ReplicatedResult, Option<Vec<obs::Trace>>) {
     assert!(!seeds.is_empty(), "need at least one seed");
+    let faults = faults.filter(|f| f.is_enabled());
     let timed_runs: Vec<(RunResult, f64, Option<obs::Trace>)> =
         simkit::par::par_map(seeds, jobs, |_, &seed| {
             let t0 = std::time::Instant::now();
-            let platform = spec.realize(seed);
+            let mut platform = spec.realize(seed);
+            let plan = faults
+                .map(|f| faults::FaultPlan::generate(f, platform.hosts.len(), spec.horizon, seed));
+            if let Some(plan) = &plan {
+                platform = platform.apply_blackouts(plan);
+            }
             let mut ctx = RunContext::new(&platform, app, allocated);
+            if let Some(plan) = &plan {
+                ctx = ctx.with_faults(plan);
+            }
             let collector = trace.then(obs::Collector::new);
             if let Some(c) = &collector {
                 ctx = ctx.with_trace(c);
@@ -209,6 +276,9 @@ fn run_replicated_inner(
             let trace = collector.map(|c| {
                 let mut t = c.into_trace();
                 append_load_changes(&mut t, &platform, run.execution_time);
+                if let Some(plan) = &plan {
+                    append_fault_events(&mut t, plan, run.execution_time);
+                }
                 t
             });
             (run, t0.elapsed().as_secs_f64(), trace)
@@ -252,6 +322,51 @@ fn append_load_changes(
                 .events
                 .push(obs::TraceEvent::LoadChange { t, host, competing });
         }
+    }
+}
+
+/// Appends every injected fault in `plan` as `FaultInjected` events,
+/// clipped to `[0, horizon_t]`: permanent crashes (no duration), host
+/// blackout windows (duration, clipped), and shared-link degradation
+/// windows (duration + bandwidth factor). Emitted by the runner — not
+/// the strategies — so each fault appears exactly once per trace.
+fn append_fault_events(trace: &mut obs::Trace, plan: &faults::FaultPlan, horizon_t: f64) {
+    for (host, sched) in plan.hosts.iter().enumerate() {
+        if let Some(c) = sched.crash {
+            if c <= horizon_t {
+                trace.events.push(obs::TraceEvent::FaultInjected {
+                    t: c,
+                    host: Some(host),
+                    fault: obs::FaultKind::Crash,
+                    duration_secs: None,
+                    factor: None,
+                });
+            }
+        }
+        for &(start, end) in &sched.blackouts {
+            if start > horizon_t {
+                break;
+            }
+            trace.events.push(obs::TraceEvent::FaultInjected {
+                t: start,
+                host: Some(host),
+                fault: obs::FaultKind::Blackout,
+                duration_secs: Some(end.min(horizon_t) - start),
+                factor: None,
+            });
+        }
+    }
+    for w in &plan.link {
+        if w.start > horizon_t {
+            break;
+        }
+        trace.events.push(obs::TraceEvent::FaultInjected {
+            t: w.start,
+            host: None,
+            fault: obs::FaultKind::LinkDegraded,
+            duration_secs: Some(w.end.min(horizon_t) - w.start),
+            factor: Some(w.factor),
+        });
     }
 }
 
@@ -395,6 +510,77 @@ mod tests {
             let (_, parallel) = run_replicated_traced(&spec, &app, &Cr::greedy(), 4, &seeds, jobs);
             assert_eq!(parallel, serial, "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn disabled_fault_spec_is_bit_identical_to_plain_run() {
+        use crate::strategies::Swap;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let app = tiny_app();
+        let seeds = default_seeds(4);
+        let plain = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        let off = faults::FaultSpec::disabled();
+        let faulted = run_replicated_faults(&spec, &app, &Swap::greedy(), 4, &seeds, 1, &off);
+        for (a, b) in faulted.runs.iter().zip(&plain.runs) {
+            assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn swap_survives_crashes_that_abort_nothing() {
+        use crate::strategies::Swap;
+        // MTBF well inside the run so most seeds see at least one crash.
+        let spec = tiny_spec(LoadSpec::Unloaded);
+        let mut app = tiny_app();
+        app.iterations = 40;
+        let fs = faults::FaultSpec::crashes_only(600.0, 7);
+        let seeds = default_seeds(8);
+        let swap = run_replicated_faults(&spec, &app, &Swap::greedy(), 4, &seeds, 1, &fs);
+        let nothing = run_replicated_faults(&spec, &app, &Nothing, 2, &seeds, 1, &fs);
+        let crashes: usize = swap.runs.iter().map(|r| r.failures).sum();
+        assert!(crashes > 0, "no crash landed inside any replication");
+        // Every SWAP failure is recovered through a spare (until stranded);
+        // NOTHING can only abort and resubmit.
+        let recovered: usize = swap.runs.iter().map(|r| r.recoveries).sum();
+        assert!(recovered > 0);
+        assert!(swap.runs.iter().all(|r| r.aborts == 0));
+        let aborts: usize = nothing.runs.iter().map(|r| r.aborts).sum();
+        let n_failures: usize = nothing.runs.iter().map(|r| r.failures).sum();
+        assert!(aborts > 0 || n_failures == 0 || nothing.runs.iter().any(|r| r.truncated));
+    }
+
+    #[test]
+    fn fault_traces_are_bit_identical_across_jobs() {
+        use crate::strategies::Cr;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let mut app = tiny_app();
+        app.iterations = 30;
+        let fs = faults::FaultSpec {
+            blackout_mtbf_secs: 400.0,
+            blackout_repair_secs: 40.0,
+            link_mtbf_secs: 500.0,
+            link_window_secs: 60.0,
+            link_factor: 0.25,
+            ..faults::FaultSpec::crashes_only(1_500.0, 11)
+        };
+        let seeds = default_seeds(6);
+        let (serial_r, serial) =
+            run_replicated_faults_traced(&spec, &app, &Cr::greedy(), 4, &seeds, 1, &fs);
+        for jobs in [2, 4] {
+            let (par_r, parallel) =
+                run_replicated_faults_traced(&spec, &app, &Cr::greedy(), 4, &seeds, jobs, &fs);
+            assert_eq!(parallel, serial, "jobs {jobs}");
+            for (a, b) in par_r.runs.iter().zip(&serial_r.runs) {
+                assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+            }
+        }
+        // The traces actually carry injected-fault events.
+        let injected = serial
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| matches!(e, obs::TraceEvent::FaultInjected { .. }))
+            .count();
+        assert!(injected > 0, "no fault events recorded");
     }
 
     #[test]

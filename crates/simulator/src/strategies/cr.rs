@@ -13,8 +13,8 @@
 //! best-predicted processors in the allocated pool), but pays the full
 //! checkpoint write + MPI restart + checkpoint read each time.
 
-use super::{RunContext, Strategy};
-use crate::exec::{probe_host, run_iteration, IterationRecord, RunResult};
+use super::{rank_by_probe, RunContext, Strategy};
+use crate::exec::{probe_host, run_iteration, run_iteration_faults, IterationRecord, RunResult};
 use crate::schedule::{equal_partition, fastest_hosts};
 use std::collections::HashMap;
 use swap_core::{DecisionEngine, PerfHistory, PolicyParams, ProcessorSnapshot, SwapCost};
@@ -52,6 +52,128 @@ impl Cr {
         let read = write;
         write + ctx.platform.startup_time(n) + read
     }
+
+    /// Failure-aware variant: classic fault-tolerant checkpoint/restart.
+    /// Every `plan.checkpoint_every` completed iterations the application
+    /// writes a checkpoint (pausing for the N-process bulk write); when
+    /// an active host crashes, the run rolls back to the last checkpoint
+    /// (losing everything since), pays the restart cost (read + MPI
+    /// startup), and resumes on the `N` best surviving hosts in the pool.
+    /// The performance-triggered relocations of the fault-free CR are
+    /// disabled in this mode — the checkpoint cadence is the fault
+    /// tolerance knob, not a performance policy. If fewer than `N` pool
+    /// hosts survive, the run is censored at the plan's horizon.
+    fn run_faults(&self, ctx: &RunContext<'_>, plan: &faults::FaultPlan) -> RunResult {
+        let app = ctx.app;
+        let n = app.n_active;
+        let alloc = ctx.allocated;
+
+        let mut pool = fastest_hosts(ctx.platform, alloc, 0.0);
+        let mut active: Vec<usize> = pool[..n].to_vec();
+
+        let startup = ctx.platform.startup_time(alloc);
+        let ckpt_write = ctx
+            .platform
+            .link
+            .bulk_transfer_time(n, app.process_state_bytes);
+        let restart_pause = ckpt_write + ctx.platform.startup_time(n);
+        let every = plan.checkpoint_every.max(1);
+        let mut t = startup;
+        let work = equal_partition(n, app.flops_per_proc_iter);
+        let mut iterations = Vec::with_capacity(app.iterations);
+        let mut restarts = 0usize;
+        let mut adapt_total = 0.0;
+        let (mut failures, mut recoveries) = (0usize, 0usize);
+        let mut truncated = false;
+        // Iteration index the last durable checkpoint covers (state as of
+        // the *start* of this index). Index 0 is free: the input deck.
+        let mut ckpt_index = 0usize;
+
+        let mut index = 0;
+        while index < app.iterations {
+            let fi = run_iteration_faults(ctx.platform, app, &active, &work, t, plan);
+            if !fi.failed.is_empty() {
+                failures += fi.failed.len();
+                let detected = fi.detected;
+                for &h in &fi.failed {
+                    ctx.emit(|| obs::TraceEvent::FailureDetected {
+                        t: detected,
+                        host: h,
+                        iter: Some(index),
+                        cause: obs::FailureCause::InjectedCrash,
+                        detail: None,
+                    });
+                }
+                pool.retain(|&h| !plan.is_crashed(h, detected));
+                if pool.len() < n {
+                    truncated = true;
+                    t = plan.horizon.max(detected);
+                    break;
+                }
+                // Roll back: re-read the checkpoint, restart the N
+                // application processes on the best survivors, and lose
+                // every iteration since the checkpoint.
+                active =
+                    rank_by_probe(ctx.platform, pool.iter().copied(), t, detected)[..n].to_vec();
+                ctx.emit(|| obs::TraceEvent::RecoveryComplete {
+                    t: detected + restart_pause,
+                    host: fi.failed[0],
+                    replacement: None,
+                    action: obs::RecoveryAction::Restart,
+                    pause_secs: restart_pause,
+                });
+                restarts += 1;
+                recoveries += 1;
+                adapt_total += restart_pause;
+                iterations.retain(|r: &IterationRecord| r.index < ckpt_index);
+                t = detected + restart_pause;
+                index = ckpt_index;
+                continue;
+            }
+
+            let out = fi.outcome;
+            ctx.emit_iteration(index, &active, t, &out);
+            pool.retain(|&h| !plan.is_crashed(h, out.end));
+
+            let completed = index + 1;
+            let mut adapt_time = 0.0;
+            if completed % every == 0 && completed < app.iterations {
+                adapt_time = ckpt_write;
+                ctx.emit(|| obs::TraceEvent::Checkpoint {
+                    t: out.end,
+                    iter: index,
+                    bytes: n as f64 * app.process_state_bytes,
+                    pause_secs: ckpt_write,
+                });
+                ckpt_index = completed;
+            }
+
+            iterations.push(IterationRecord {
+                index,
+                start: t,
+                compute_end: out.compute_end,
+                end: out.end,
+                adapt_time,
+                active: active.clone(),
+            });
+            adapt_total += adapt_time;
+            t = out.end + adapt_time;
+            index = completed;
+        }
+
+        RunResult {
+            strategy: self.name(),
+            execution_time: t,
+            startup_time: startup,
+            adaptations: restarts,
+            adapt_time_total: adapt_total,
+            iterations,
+            failures,
+            recoveries,
+            aborts: 0,
+            truncated,
+        }
+    }
 }
 
 impl Strategy for Cr {
@@ -60,6 +182,9 @@ impl Strategy for Cr {
     }
 
     fn run(&self, ctx: &RunContext<'_>) -> RunResult {
+        if let Some(plan) = ctx.faults {
+            return self.run_faults(ctx, plan);
+        }
         let app = ctx.app;
         let n = app.n_active;
         let alloc = ctx.allocated;
@@ -167,6 +292,10 @@ impl Strategy for Cr {
             adaptations: restarts,
             adapt_time_total: adapt_total,
             iterations,
+            failures: 0,
+            recoveries: 0,
+            aborts: 0,
+            truncated: false,
         }
     }
 }

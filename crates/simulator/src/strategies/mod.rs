@@ -36,6 +36,10 @@ pub struct RunContext<'a> {
     /// Optional trace sink. `None` (the default) is the zero-cost path:
     /// every emission site is one branch on this option.
     pub trace: Option<&'a dyn obs::TraceSink>,
+    /// Optional fault schedule. `None` (the default) selects the exact
+    /// fault-free code path — strategies branch on this once at the top
+    /// of `run`, so disabled faults cannot perturb the simulation.
+    pub faults: Option<&'a faults::FaultPlan>,
 }
 
 impl<'a> RunContext<'a> {
@@ -58,6 +62,7 @@ impl<'a> RunContext<'a> {
             app,
             allocated: allocated.clamp(app.n_active, platform.hosts.len()),
             trace: None,
+            faults: None,
         }
     }
 
@@ -65,6 +70,14 @@ impl<'a> RunContext<'a> {
     /// simulated time) into it.
     pub fn with_trace(mut self, sink: &'a dyn obs::TraceSink) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attaches a fault schedule; strategies switch to their
+    /// failure-aware execution paths. The platform must already carry the
+    /// plan's blackouts (see [`Platform::apply_blackouts`]).
+    pub fn with_faults(mut self, plan: &'a faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -104,6 +117,24 @@ impl<'a> RunContext<'a> {
             compute_end: out.compute_end,
         });
     }
+}
+
+/// Ranks `candidates` by mean delivered speed over `[t0, t1]` (best
+/// first, ties by id) — how a recovering manager picks replacement hosts:
+/// it has probe measurements over the failed iteration's window, nothing
+/// more.
+pub(crate) fn rank_by_probe(
+    platform: &Platform,
+    candidates: impl IntoIterator<Item = usize>,
+    t0: f64,
+    t1: f64,
+) -> Vec<usize> {
+    let mut ranked: Vec<(f64, usize)> = candidates
+        .into_iter()
+        .map(|h| (crate::exec::probe_host(platform, h, t0, t1), h))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.into_iter().map(|(_, h)| h).collect()
 }
 
 /// An execution strategy: how the application reacts (or not) to the
