@@ -29,6 +29,7 @@ pub fn bench_scale() -> Scale {
         jobs: 1,
         mtbf: None,
         fault_seed: None,
+        placement: None,
     }
 }
 

@@ -323,6 +323,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         }
     }
 
@@ -355,6 +356,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let fig = ablation_commmodel(&scale);
         let bsp = fig.series_named("bsp").unwrap();
@@ -389,6 +391,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let fig = ablation_oracle(&scale);
         let greedy = fig.series_named("greedy").unwrap();

@@ -28,6 +28,14 @@ pub struct Scale {
     /// CLI override of the extra fault-stream seed (`--fault-seed`).
     #[serde(skip)]
     pub fault_seed: Option<u64>,
+    /// CLI override of the spare-placement policy for the fault studies
+    /// (`--placement`). `None` keeps each study's default; `Some` routes
+    /// the runs through the policy layer. `first_alive` reproduces the
+    /// legacy probe-ranked choice bit-for-bit (modulo the extra
+    /// `PolicyDecision` trace events), which is what CI's byte-compare
+    /// leans on.
+    #[serde(skip)]
+    pub placement: Option<policy::PlacementChoice>,
 }
 
 impl Scale {
@@ -40,6 +48,7 @@ impl Scale {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         }
     }
 
@@ -53,6 +62,7 @@ impl Scale {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         }
     }
 
@@ -112,6 +122,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let v = s.linspace(0.0, 1.0);
         assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
@@ -126,6 +137,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let v = s.logspace(1.0, 100.0);
         assert!((v[0] - 1.0).abs() < 1e-9);

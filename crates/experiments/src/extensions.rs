@@ -17,7 +17,7 @@ use crate::sweep::grid_sweep;
 use faults::FaultSpec;
 use loadmodel::OnOffSource;
 use simulator::platform::LoadSpec;
-use simulator::runner::{run_replicated, run_replicated_faults};
+use simulator::runner::{run_replicated, run_replicated_faults, run_replicated_policies};
 use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Strategy, Swap};
 use simulator::AppSpec;
 
@@ -254,7 +254,10 @@ pub fn ext_granularity(scale: &Scale) -> FigureData {
 /// across `--jobs`.
 ///
 /// `--mtbf M` recenters the sweep on `[M/4, 4M]`; `--fault-seed`
-/// reseeds the fault streams without touching the platform realization.
+/// reseeds the fault streams without touching the platform realization;
+/// `--placement NAME` routes every cell through the policy layer's
+/// spare-placement policy (`first_alive` reproduces the default
+/// probe-ranked choice bit-for-bit).
 pub fn ext_faults(scale: &Scale) -> FigureData {
     scale.validate();
     let mut app = AppSpec::hpdc03(4, 1.0e8);
@@ -279,9 +282,16 @@ pub fn ext_faults(scale: &Scale) -> FigureData {
         |(_, s, alloc), mtbf| {
             let spec = platform(onoff_duty(0.5));
             let fs = FaultSpec::crashes_only(mtbf, fault_seed);
-            run_replicated_faults(&spec, &app, s.as_ref(), *alloc, &scale.seed_list(), 1, &fs)
-                .execution_time
-                .mean
+            let seeds = scale.seed_list();
+            match scale.placement {
+                Some(p) => {
+                    let ps = policy::PolicyConfig::for_placement(p).build(0.0);
+                    run_replicated_policies(&spec, &app, s.as_ref(), *alloc, &seeds, 1, &fs, &ps)
+                }
+                None => run_replicated_faults(&spec, &app, s.as_ref(), *alloc, &seeds, 1, &fs),
+            }
+            .execution_time
+            .mean
         },
     );
     FigureData {
@@ -293,14 +303,134 @@ pub fn ext_faults(scale: &Scale) -> FigureData {
     }
 }
 
+/// The policy tournament testbed: a speed-homogeneous, unloaded rack
+/// cluster. Every host computes at the same 400 Mflop/s, so spare
+/// probes tie exactly and placement is decided *purely* by the failure
+/// model — the tournament isolates reliability-awareness from the
+/// load-chasing the rest of the figures study. The horizon censors
+/// runs whose spare pool is exhausted, exactly as in [`ext_faults`].
+fn tournament_platform() -> simulator::platform::PlatformSpec {
+    simulator::platform::PlatformSpec {
+        n_hosts: 32,
+        speed_range: (4.0e8, 4.0e8),
+        link: simkit::link::SharedLink::hpdc03_lan(),
+        startup_per_process: 0.75,
+        load: LoadSpec::Unloaded,
+        horizon: 50_000.0,
+    }
+}
+
+/// The policy tournament: spare-placement policies head-to-head in the
+/// two fault regimes where placement can matter.
+///
+/// * **Heterogeneous lifetimes** (`host_mtbf_spread = 8`): per-host
+///   effective MTBFs span a 64× range and crash timing is bursty
+///   (hyperexponential), so an [`policy::MtbfAware`] ranker that prefers
+///   spares with long expected residual lifetime replaces dead hosts
+///   with durable ones, while [`policy::FirstAlive`] keeps handing the
+///   state to fragile spares and pays the recovery bill again.
+/// * **Correlated rack shocks** (`domains = 4`, storms at the swept
+///   MTBF killing 80% of one rack across a 900 s window): a storm
+///   dooms several hosts of one rack at once, so [`policy::RackAware`]
+///   — which demotes spares in recently-shocked domains — refuses to
+///   place the replacement next to the host that just died, while
+///   `FirstAlive` walks straight into the blast radius.
+///
+/// The experiment design makes the placement decision the *only* lever:
+/// the tournament platform is unloaded and speed-homogeneous (all
+/// probes tie, so a durable pick costs nothing), the strategy is
+/// SWAP(safe)/32 (the safe policy's 20% improvement threshold never
+/// admits a voluntary swap here, so a placement persists instead of
+/// being churned away at the next decision point), and the 1 GB process
+/// state makes every avoidable re-recovery cost a 167 s transfer plus
+/// the re-run of the failed iteration. Under these controls each
+/// specialist strictly dominates `FirstAlive` wherever its failure
+/// regime is active, and the curves converge exactly once failures
+/// become too rare to matter. x is the per-host crash MTBF for the
+/// spread pair and the per-domain storm MTBF for the shock pair. The
+/// fault schedule is seed-derived, so the figure is bit-identical
+/// across `--jobs`.
+pub fn ext_policies(scale: &Scale) -> FigureData {
+    scale.validate();
+    let mut app = AppSpec::hpdc03(4, 1.0e9);
+    app.iterations = scale.iterations;
+    let (lo, hi) = match scale.mtbf {
+        Some(m) => (m / 4.0, m * 4.0),
+        None => (1_000.0, 32_000.0),
+    };
+    let xs = scale.logspace(lo, hi);
+    let fault_seed = scale.fault_seed.unwrap_or(0);
+    let spread_spec = |mtbf: f64| FaultSpec {
+        host_mtbf_spread: 8.0,
+        ..FaultSpec::crashes_only(mtbf, fault_seed)
+    };
+    let shock_spec = |mtbf: f64| FaultSpec::correlated_shocks(4, mtbf, 900.0, 0.8, fault_seed);
+    // (series, placement, fault regime): the tournament pairs one
+    // baseline and one specialist per regime.
+    type FaultFor<'a> = &'a (dyn Fn(f64) -> FaultSpec + Sync);
+    let cells: Vec<(&str, policy::PlacementChoice, FaultFor)> = vec![
+        (
+            "first_alive",
+            policy::PlacementChoice::FirstAlive,
+            &spread_spec,
+        ),
+        (
+            "mtbf_aware",
+            policy::PlacementChoice::MtbfAware,
+            &spread_spec,
+        ),
+        (
+            "first_alive/shocks",
+            policy::PlacementChoice::FirstAlive,
+            &shock_spec,
+        ),
+        (
+            "rack_aware/shocks",
+            policy::PlacementChoice::RackAware,
+            &shock_spec,
+        ),
+    ];
+    let series = grid_sweep(
+        scale,
+        &cells,
+        &xs,
+        |(name, _, _)| (*name).to_owned(),
+        |(_, placement, fault_for), mtbf| {
+            let fs = fault_for(mtbf);
+            let spec = tournament_platform();
+            let ps = policy::PolicyConfig::for_placement(*placement).build(fs.shock_window_secs);
+            run_replicated_policies(
+                &spec,
+                &app,
+                &Swap::safe(),
+                32,
+                &scale.seed_list(),
+                1,
+                &fs,
+                &ps,
+            )
+            .execution_time
+            .mean
+        },
+    );
+    FigureData {
+        id: "ext_policies".into(),
+        title: "Extension: spare-placement policy tournament (SWAP/32)".into(),
+        x_label: "crash / storm MTBF [s]".into(),
+        y_label: "execution time [s]".into(),
+        series,
+    }
+}
+
 /// All extension experiment ids.
-pub const ALL_EXTENSIONS: [&str; 6] = [
+pub const ALL_EXTENSIONS: [&str; 7] = [
     "ext_reclamation",
     "ext_dlb_swap",
     "ext_pareto",
     "ext_traces",
     "ext_granularity",
     "ext_faults",
+    "ext_policies",
 ];
 
 /// Generates an extension experiment by id.
@@ -312,6 +442,7 @@ pub fn extension_by_id(id: &str, scale: &Scale) -> Option<FigureData> {
         "ext_traces" => ext_traces(scale),
         "ext_granularity" => ext_granularity(scale),
         "ext_faults" => ext_faults(scale),
+        "ext_policies" => ext_policies(scale),
         _ => return None,
     })
 }
@@ -328,6 +459,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         }
     }
 
@@ -385,6 +517,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let fig = ext_granularity(&scale);
         let greedy = fig.series_named("greedy").unwrap();
@@ -411,6 +544,7 @@ mod tests {
             jobs: 0,
             mtbf: Some(2_000.0),
             fault_seed: Some(1),
+            placement: None,
         };
         let fig = ext_faults(&scale);
         assert_eq!(fig.series.len(), 4);
@@ -429,6 +563,73 @@ mod tests {
             nothing.y(0),
             fig.series[0].points[0].0
         );
+    }
+
+    #[test]
+    fn policy_tournament_specialists_beat_first_alive_in_their_regimes() {
+        // Short MTBFs so crashes and storms land inside these short
+        // smoke runs; the dominance claim is evaluated at the harshest
+        // sweep point (x index 0).
+        let scale = Scale {
+            seeds: 4,
+            sweep_points: 3,
+            iterations: 10,
+            jobs: 0,
+            mtbf: Some(2_000.0),
+            fault_seed: Some(1),
+            placement: None,
+        };
+        let fig = ext_policies(&scale);
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, y)| y.is_finite() && y > 0.0));
+        }
+        // Heterogeneous-lifetime regime: ranking spares by expected
+        // residual lifetime must beat probe order at the shortest MTBF.
+        let first = fig.series_named("first_alive").unwrap();
+        let mtbf_aware = fig.series_named("mtbf_aware").unwrap();
+        assert!(
+            mtbf_aware.y(0) < first.y(0),
+            "mtbf_aware {} vs first_alive {} under spread-8 crashes",
+            mtbf_aware.y(0),
+            first.y(0)
+        );
+        // Correlated-shock regime: avoiding the freshly-shocked rack
+        // must beat walking into it at the shortest storm MTBF.
+        let first_shocks = fig.series_named("first_alive/shocks").unwrap();
+        let rack_aware = fig.series_named("rack_aware/shocks").unwrap();
+        assert!(
+            rack_aware.y(0) < first_shocks.y(0),
+            "rack_aware {} vs first_alive {} under correlated shocks",
+            rack_aware.y(0),
+            first_shocks.y(0)
+        );
+    }
+
+    #[test]
+    fn fault_sweep_is_unchanged_by_the_first_alive_placement_route() {
+        // `--placement first_alive` sends every cell through the policy
+        // layer; the ranking it produces is the legacy probe order, so
+        // the figure must be bit-identical to the default path.
+        let mut scale = Scale {
+            seeds: 2,
+            sweep_points: 3,
+            iterations: 8,
+            jobs: 0,
+            mtbf: Some(2_000.0),
+            fault_seed: Some(1),
+            placement: None,
+        };
+        let legacy = ext_faults(&scale);
+        scale.placement = Some(policy::PlacementChoice::FirstAlive);
+        let routed = ext_faults(&scale);
+        for (l, r) in legacy.series.iter().zip(&routed.series) {
+            assert_eq!(l.name, r.name);
+            for (lp, rp) in l.points.iter().zip(&r.points) {
+                assert_eq!(lp.0.to_bits(), rp.0.to_bits(), "{}", l.name);
+                assert_eq!(lp.1.to_bits(), rp.1.to_bits(), "{}", l.name);
+            }
+        }
     }
 
     #[test]
@@ -456,6 +657,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let fig = ext_traces(&scale);
         let nothing = fig.series_named("nothing").unwrap();

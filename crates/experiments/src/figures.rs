@@ -449,6 +449,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         for id in ALL_FIGURES.iter().take(3) {
             assert!(by_id(id, &scale).is_some(), "{id} missing");
@@ -466,6 +467,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let f = fig4_techniques_vs_dynamism(&scale);
         assert_eq!(f.series.len(), 4);

@@ -79,10 +79,21 @@ fn main() {
                 std::process::exit(2);
             })
         });
+    let placement: Option<policy::PlacementChoice> = args
+        .iter()
+        .position(|a| a == "--placement")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            policy::PlacementChoice::parse(v).unwrap_or_else(|| {
+                eprintln!("--placement expects first_alive|mtbf_aware|rack_aware, got '{v}'");
+                std::process::exit(2);
+            })
+        });
     let mut scale = if quick { Scale::quick() } else { Scale::full() };
     scale.jobs = jobs;
     scale.mtbf = mtbf;
     scale.fault_seed = fault_seed;
+    scale.placement = placement;
 
     // Refuse --trace where it would be silently ignored. Figure sweeps
     // aggregate thousands of cells, so study ids trace their
@@ -90,7 +101,7 @@ fn main() {
     // sweep itself; only the analytic fig1–fig3 have nothing to trace.
     let traceable = matches!(
         args[0].as_str(),
-        "run" | "gantt" | "protocol" | "all" | "ablations" | "extensions" | "faults"
+        "run" | "gantt" | "protocol" | "all" | "ablations" | "extensions" | "faults" | "policy"
     ) || experiments::studies::has_study(&args[0]);
     if trace_path.is_some() && !traceable {
         eprintln!(
@@ -119,7 +130,8 @@ fn main() {
             println!("  report    paper-vs-measured verification table");
             println!("  compare   all strategies at one operating point");
             println!("  gantt     host-occupancy chart of one run");
-            println!("  policy    evaluate a custom PolicyParams JSON");
+            println!("  policy    evaluate a custom PolicyParams JSON, or 'policy placements'");
+            println!("            for the spare-placement tournament under faults");
             println!("  tune      grid-search the policy space at an operating point");
             println!("  scenario  print a scenario JSON template");
             println!("  run       execute a scenario file (swapsim run exp.json)");
@@ -149,9 +161,26 @@ fn main() {
             Some("extensions"),
         ),
         "policy" => {
+            // swapsim policy placements [mtbf] [duty] [state_bytes]:
+            // spare-placement policies head-to-head under faults.
             // swapsim policy <file.json|--template> [duty] [state_bytes]:
-            // evaluate a custom policy (serde JSON of PolicyParams).
+            // evaluate a custom swapping policy (serde JSON of PolicyParams).
             match args.get(1).map(String::as_str) {
+                Some("placements") => {
+                    let m: f64 = mtbf
+                        .or_else(|| args.get(2).and_then(|s| s.parse().ok()))
+                        .unwrap_or(3_000.0);
+                    let duty: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+                    let state: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1e8);
+                    run_placement_tournament(
+                        m,
+                        fault_seed.unwrap_or(0),
+                        duty,
+                        state,
+                        &scale,
+                        trace_path.as_deref(),
+                    );
+                }
                 Some("--template") | None => {
                     let template = swap_core::PolicyParams::safe();
                     println!(
@@ -598,6 +627,89 @@ fn run_policy_eval(policy: swap_core::PolicyParams, duty: f64, state: f64, scale
     }
 }
 
+/// `swapsim policy placements`: every spare-placement policy
+/// head-to-head on one operating point that layers both fault regimes —
+/// heterogeneous per-host lifetimes (spread 8×) *and* correlated rack
+/// storms — so each specialist has something to exploit and the
+/// differences are attributable to placement alone (same strategy,
+/// seeds, fault schedule).
+fn run_placement_tournament(
+    mtbf: f64,
+    fault_seed: u64,
+    duty: f64,
+    state: f64,
+    scale: &Scale,
+    trace_path: Option<&Path>,
+) {
+    use experiments::figures::{onoff_duty, platform};
+    use simulator::runner::{run_replicated_policies, run_replicated_policies_traced};
+    use simulator::strategies::Swap;
+
+    let mut app = simulator::AppSpec::hpdc03(4, state);
+    app.iterations = scale.iterations;
+    let spec = platform(onoff_duty(duty.clamp(0.0, 0.99)));
+    let seeds = scale.seed_list();
+    let mut fs = faults::FaultSpec::correlated_shocks(4, mtbf * 4.0, 900.0, 0.6, fault_seed);
+    fs.mtbf_secs = mtbf;
+    fs.host_mtbf_spread = 8.0;
+
+    println!(
+        "placement tournament: crash MTBF {mtbf:.0} s/host ({}, spread 8x, fault seed {fault_seed}), \
+         {} racks with storms every {:.0} s, duty {duty}, state {state:.0} B, \
+         {} iterations, {} seeds",
+        fs.crash_dist,
+        fs.domains,
+        fs.shock_mtbf_secs,
+        app.iterations,
+        seeds.len()
+    );
+    println!(
+        "\n{:<13} {:>9} {:>9} {:>9} {:>7} {:>9}",
+        "placement", "mean [s]", "failures", "recovered", "stuck", "adapts"
+    );
+    let choices = [
+        policy::PlacementChoice::FirstAlive,
+        policy::PlacementChoice::MtbfAware,
+        policy::PlacementChoice::RackAware,
+    ];
+    let mut bundle = obs::TraceBundle::new();
+    for choice in choices {
+        let ps = policy::PolicyConfig::for_placement(choice).build(fs.shock_window_secs);
+        let strategy = Swap::greedy();
+        let r = if trace_path.is_some() {
+            let (r, traces) = run_replicated_policies_traced(
+                &spec, &app, &strategy, 32, &seeds, scale.jobs, &fs, &ps,
+            );
+            for (seed, trace) in seeds.iter().zip(traces) {
+                bundle.push(choice.name(), *seed, trace);
+            }
+            r
+        } else {
+            run_replicated_policies(&spec, &app, &strategy, 32, &seeds, scale.jobs, &fs, &ps)
+        };
+        let sum = |f: fn(&simulator::RunResult) -> usize| -> usize { r.runs.iter().map(f).sum() };
+        println!(
+            "{:<13} {:>9.0} {:>9} {:>9} {:>7} {:>9.1}",
+            choice.name(),
+            r.execution_time.mean,
+            sum(|x| x.failures),
+            sum(|x| x.recoveries),
+            r.runs.iter().filter(|x| x.truncated).count(),
+            r.mean_adaptations
+        );
+    }
+    println!(
+        "\n(same SWAP/32 strategy, seeds, and fault schedule in every row; only the \
+         spare-placement ranking differs — each choice is audited as a PolicyDecision \
+         trace event)"
+    );
+    if let Some(path) = trace_path {
+        write_trace_file(&bundle, path);
+        let metrics = obs::Metrics::from_bundle(&bundle);
+        println!("{}", metrics.render());
+    }
+}
+
 fn run_compare(duty: f64, state: f64, n_active: usize, alloc: usize, scale: &Scale) {
     use experiments::figures::{onoff_duty, platform};
     use simulator::runner::run_replicated_jobs;
@@ -663,8 +775,9 @@ fn run_faults_compare(
     let fs = faults::FaultSpec::crashes_only(mtbf, fault_seed);
 
     println!(
-        "fault injection: crash MTBF {mtbf:.0} s/host (fault seed {fault_seed}), duty {duty}, \
-         state {state:.0} B, {} iterations, {} seeds",
+        "fault injection: crash MTBF {mtbf:.0} s/host ({} timing, fault seed {fault_seed}), \
+         duty {duty}, state {state:.0} B, {} iterations, {} seeds",
+        fs.crash_dist,
         app.iterations,
         seeds.len()
     );
@@ -778,6 +891,6 @@ fn write_trace_file(bundle: &obs::TraceBundle, path: &Path) {
 }
 
 fn usage_and_exit() -> ! {
-    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR] [--trace PATH]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim faults [mtbf] [duty] [state_bytes] [--fault-seed S] [--trace PATH]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim run <scenario.json> [--jobs N] [--mtbf M] [--fault-seed S] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n       swapsim protocol [n_active] [n_spares] [state_bytes] [swaps] [--trace PATH]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON/metrics output is bit-identical at every setting\n       --mtbf M      inject permanent host crashes at MTBF M seconds (0 = off);\n                     recenters the ext_faults sweep, overrides a scenario's faults\n       --fault-seed S  extra seed for the fault streams (layer different fault\n                     schedules over identical platform realizations)\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json;\n                     swept study ids trace their representative scenario, and batch\n                     commands treat PATH as a directory of <id>.trace.jsonl files");
+    eprintln!("usage: swapsim <all|ablations|extensions|report|gantt|list|fig1..fig9|ablation_*|ext_*> [--quick] [--jobs N] [--out DIR] [--trace PATH]\n       swapsim gantt [strategy] [duty] [seed] [--trace PATH]\n       swapsim compare [duty] [state_bytes] [n_active] [alloc]\n       swapsim faults [mtbf] [duty] [state_bytes] [--fault-seed S] [--trace PATH]\n       swapsim tune [duty] [state_bytes]\n       swapsim policy <file.json|--template> [duty] [state_bytes]\n       swapsim policy placements [mtbf] [duty] [state_bytes] [--fault-seed S] [--trace PATH]\n       swapsim run <scenario.json> [--jobs N] [--mtbf M] [--fault-seed S] [--trace PATH]\n       swapsim trace [scenario.json] [--quick] [--jobs N] [--out DIR]\n       swapsim protocol [n_active] [n_spares] [state_bytes] [swaps] [--trace PATH]\n\n       --jobs N      worker threads for sweeps/replications (0 = auto, 1 = serial);\n                     figure CSV/JSON/metrics output is bit-identical at every setting\n       --mtbf M      inject permanent host crashes at MTBF M seconds (0 = off);\n                     recenters the ext_faults sweep, overrides a scenario's faults\n       --fault-seed S  extra seed for the fault streams (layer different fault\n                     schedules over identical platform realizations)\n       --placement NAME  spare-placement policy for the fault studies\n                     (first_alive|mtbf_aware|rack_aware); first_alive reproduces\n                     the default probe-ranked choice bit-for-bit\n       --trace PATH  also record a deterministic event trace: JSONL event log,\n                     or Chrome trace-event JSON when PATH ends in .chrome.json;\n                     swept study ids trace their representative scenario, and batch\n                     commands treat PATH as a directory of <id>.trace.jsonl files");
     std::process::exit(1);
 }

@@ -412,6 +412,7 @@ mod tests {
             jobs: 0,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let checks = run_report(&scale);
         assert_eq!(checks.len(), 14);

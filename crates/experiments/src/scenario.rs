@@ -11,7 +11,8 @@ use serde::{Deserialize, Serialize};
 use simulator::platform::PlatformSpec;
 use simulator::runner::{
     run_replicated_faults, run_replicated_faults_traced, run_replicated_jobs,
-    run_replicated_traced, ReplicatedResult,
+    run_replicated_policies, run_replicated_policies_traced, run_replicated_traced,
+    ReplicatedResult,
 };
 use simulator::strategies::{Cr, Dlb, DlbSwap, Nothing, Oracle, Strategy, Swap};
 use simulator::AppSpec;
@@ -98,6 +99,13 @@ pub struct Scenario {
     /// plans derived deterministically from the replication seeds.
     #[serde(default)]
     pub faults: Option<FaultSpec>,
+    /// Optional decision-policy bundle for the failure-aware paths
+    /// (spare placement + checkpoint cadence). Only consulted when fault
+    /// injection is enabled; absent means the legacy inline choices,
+    /// bit-for-bit. The rack-aware lookback defaults to the fault spec's
+    /// `shock_window_secs` when the config leaves it at zero.
+    #[serde(default)]
+    pub policies: Option<policy::PolicyConfig>,
 }
 
 impl Scenario {
@@ -117,6 +125,7 @@ impl Scenario {
             replications: 8,
             jobs: 0,
             faults: None,
+            policies: None,
             strategies: vec![
                 StrategyRef::Nothing,
                 StrategyRef::Dlb,
@@ -153,16 +162,35 @@ impl Scenario {
         );
     }
 
+    /// The materialized policy bundle, when both fault injection and a
+    /// policy config are present (policies are decision points of the
+    /// failure-aware paths, so they need faults to act on).
+    fn policy_set(&self) -> Option<policy::PolicySet> {
+        let f = self.faults.as_ref().filter(|f| f.is_enabled())?;
+        Some(self.policies.as_ref()?.build(f.shock_window_secs))
+    }
+
     /// Runs every strategy, in order.
     pub fn run(&self) -> Vec<ReplicatedResult> {
         self.validate();
         let seeds: Vec<u64> = (0..self.replications as u64).collect();
+        let policies = self.policy_set();
         self.strategies
             .iter()
             .map(|sref| {
                 let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
-                match self.faults.as_ref().filter(|f| f.is_enabled()) {
-                    Some(f) => run_replicated_faults(
+                match (self.faults.as_ref().filter(|f| f.is_enabled()), &policies) {
+                    (Some(f), Some(ps)) => run_replicated_policies(
+                        &self.platform,
+                        &self.app,
+                        strategy.as_ref(),
+                        alloc,
+                        &seeds,
+                        self.jobs,
+                        f,
+                        ps,
+                    ),
+                    (Some(f), None) => run_replicated_faults(
                         &self.platform,
                         &self.app,
                         strategy.as_ref(),
@@ -171,7 +199,7 @@ impl Scenario {
                         self.jobs,
                         f,
                     ),
-                    None => run_replicated_jobs(
+                    (None, _) => run_replicated_jobs(
                         &self.platform,
                         &self.app,
                         strategy.as_ref(),
@@ -190,31 +218,43 @@ impl Scenario {
     pub fn run_traced(&self) -> (Vec<ReplicatedResult>, obs::TraceBundle) {
         self.validate();
         let seeds: Vec<u64> = (0..self.replications as u64).collect();
+        let policies = self.policy_set();
         let mut bundle = obs::TraceBundle::default();
         let results = self
             .strategies
             .iter()
             .map(|sref| {
                 let (strategy, alloc) = sref.build(self.app.n_active, self.allocated);
-                let (result, traces) = match self.faults.as_ref().filter(|f| f.is_enabled()) {
-                    Some(f) => run_replicated_faults_traced(
-                        &self.platform,
-                        &self.app,
-                        strategy.as_ref(),
-                        alloc,
-                        &seeds,
-                        self.jobs,
-                        f,
-                    ),
-                    None => run_replicated_traced(
-                        &self.platform,
-                        &self.app,
-                        strategy.as_ref(),
-                        alloc,
-                        &seeds,
-                        self.jobs,
-                    ),
-                };
+                let (result, traces) =
+                    match (self.faults.as_ref().filter(|f| f.is_enabled()), &policies) {
+                        (Some(f), Some(ps)) => run_replicated_policies_traced(
+                            &self.platform,
+                            &self.app,
+                            strategy.as_ref(),
+                            alloc,
+                            &seeds,
+                            self.jobs,
+                            f,
+                            ps,
+                        ),
+                        (Some(f), None) => run_replicated_faults_traced(
+                            &self.platform,
+                            &self.app,
+                            strategy.as_ref(),
+                            alloc,
+                            &seeds,
+                            self.jobs,
+                            f,
+                        ),
+                        (None, _) => run_replicated_traced(
+                            &self.platform,
+                            &self.app,
+                            strategy.as_ref(),
+                            alloc,
+                            &seeds,
+                            self.jobs,
+                        ),
+                    };
                 for (seed, trace) in seeds.iter().zip(traces) {
                     bundle.push(&result.strategy, *seed, trace);
                 }
@@ -364,6 +404,43 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn policied_scenario_emits_decisions_and_round_trips() {
+        let mut s = Scenario::template();
+        s.replications = 2;
+        s.app.iterations = 8;
+        s.platform.horizon = 20_000.0;
+        s.faults = Some(FaultSpec::crashes_only(3_000.0, 5));
+        s.policies = Some(policy::PolicyConfig::for_placement(
+            policy::PlacementChoice::MtbfAware,
+        ));
+        s.strategies = vec![StrategyRef::Swap {
+            policy: PolicyParams::greedy(),
+        }];
+        let (results, bundle) = s.run_traced();
+        assert_eq!(results.len(), 1);
+        let decisions = bundle
+            .runs
+            .iter()
+            .flat_map(|r| &r.trace.events)
+            .filter(|e| matches!(e, obs::TraceEvent::PolicyDecision { .. }))
+            .count();
+        let recoveries: usize = results[0].runs.iter().map(|r| r.recoveries).sum();
+        assert!(recoveries > 0, "fault plan produced no recoveries");
+        assert!(
+            decisions >= recoveries,
+            "every spare placement must be audited: {decisions} decisions, {recoveries} recoveries"
+        );
+        // JSON with a policies block parses back to the same scenario,
+        // and documents without one still parse (None).
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let legacy: Scenario =
+            serde_json::from_str(&serde_json::to_string(&Scenario::template()).unwrap()).unwrap();
+        assert_eq!(legacy.policies, None);
     }
 
     #[test]

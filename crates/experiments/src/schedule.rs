@@ -278,6 +278,7 @@ mod tests {
             jobs: 2,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         }
     }
 

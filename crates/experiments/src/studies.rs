@@ -44,6 +44,7 @@ fn scenario(load: LoadSpec, app: AppSpec, strategies: Vec<StrategyRef>, scale: &
         replications: STUDY_REPLICATIONS,
         jobs: 0,
         faults: None,
+        policies: None,
         strategies,
     }
 }
@@ -242,6 +243,31 @@ pub fn study_scenario(id: &str, scale: &Scale) -> Option<Scenario> {
                 scale.mtbf.unwrap_or(3_000.0),
                 scale.fault_seed.unwrap_or(0),
             ));
+            s.policies = scale.placement.map(policy::PolicyConfig::for_placement);
+            s
+        }
+        "ext_policies" => {
+            // The shock regime of the tournament: correlated rack storms
+            // with the rack-aware specialist, so the representative trace
+            // carries RackShock faults and PolicyDecision events.
+            let mut s = scenario(
+                onoff_duty(0.5),
+                AppSpec::hpdc03(4, 1.0e8),
+                vec![swap(greedy), StrategyRef::Cr { policy: greedy }],
+                scale,
+            );
+            s.faults = Some(faults::FaultSpec::correlated_shocks(
+                4,
+                scale.mtbf.unwrap_or(3_000.0),
+                900.0,
+                0.8,
+                scale.fault_seed.unwrap_or(0),
+            ));
+            s.policies = Some(policy::PolicyConfig::for_placement(
+                scale
+                    .placement
+                    .unwrap_or(policy::PlacementChoice::RackAware),
+            ));
             s
         }
         _ => return None,
@@ -309,6 +335,7 @@ mod tests {
             jobs: 1,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         };
         let (results, serial) = run_study_traced("ablation_oracle", &scale).expect("scenario");
         assert_eq!(results.len(), 3);

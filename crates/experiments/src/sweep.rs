@@ -118,6 +118,7 @@ mod tests {
             jobs,
             mtbf: None,
             fault_seed: None,
+            placement: None,
         }
     }
 

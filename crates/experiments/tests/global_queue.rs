@@ -16,6 +16,7 @@ fn scale_with_jobs(jobs: usize) -> Scale {
         jobs,
         mtbf: None,
         fault_seed: None,
+        placement: None,
     }
 }
 

@@ -14,6 +14,7 @@ fn scale_with_jobs(jobs: usize) -> Scale {
         jobs,
         mtbf: None,
         fault_seed: None,
+        placement: None,
     }
 }
 

@@ -56,6 +56,70 @@ impl MtbfDistribution {
         }
     }
 
+    /// Expected *residual* time to failure given that the host has
+    /// already survived `age` seconds — the quantity an MTBF-aware
+    /// placement policy ranks spares by.
+    ///
+    /// * Exponential: memoryless, the residual mean is the mean.
+    /// * Hyperexponential: surviving reweights the branch posterior
+    ///   toward the slow branch (the inspection paradox), so the
+    ///   residual mean *grows* with age.
+    /// * Weibull: numeric integration of the survival function; shape
+    ///   below 1 (infant mortality) rewards survivors, shape above 1
+    ///   (wear-out) penalizes them.
+    ///
+    /// Deterministic (no sampling), so policies built on it stay
+    /// bit-reproducible.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive and finite.
+    pub fn residual_mean(&self, mean: f64, age: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        let age = age.max(0.0);
+        match *self {
+            MtbfDistribution::Exponential => mean,
+            MtbfDistribution::HyperExp { cv2 } => {
+                if cv2 <= 1.0 {
+                    return mean;
+                }
+                let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+                let m1 = mean / (2.0 * p);
+                let m2 = mean / (2.0 * (1.0 - p));
+                // Posterior branch weights after surviving to `age`;
+                // each branch is itself memoryless.
+                let w1 = p * (-age / m1).exp();
+                let w2 = (1.0 - p) * (-age / m2).exp();
+                if w1 + w2 <= 0.0 {
+                    return m1.max(m2);
+                }
+                (w1 * m1 + w2 * m2) / (w1 + w2)
+            }
+            MtbfDistribution::Weibull { shape } => {
+                let scale = mean / gamma(1.0 + 1.0 / shape);
+                // Residual mean = ∫₀^∞ S(age+u) du / S(age) with
+                // S(t) = exp(−(t/λ)^k); trapezoid until the integrand
+                // underflows.
+                let hazard = |t: f64| (t / scale).powf(shape);
+                let h0 = hazard(age);
+                let g = |u: f64| (h0 - hazard(age + u)).exp();
+                let step = scale / 128.0;
+                let mut total = 0.0;
+                let mut u = 0.0;
+                let mut prev = g(0.0);
+                for _ in 0..1 << 20 {
+                    u += step;
+                    let cur = g(u);
+                    total += 0.5 * (prev + cur) * step;
+                    prev = cur;
+                    if cur < 1e-12 {
+                        break;
+                    }
+                }
+                total
+            }
+        }
+    }
+
     /// Draws one fault interarrival time with the given mean.
     pub fn sample<R: Rng + ?Sized>(&self, mean: f64, rng: &mut R) -> f64 {
         assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
@@ -81,6 +145,19 @@ impl MtbfDistribution {
                 let scale = mean / gamma(1.0 + 1.0 / shape);
                 scale * exp1(rng).powf(1.0 / shape)
             }
+        }
+    }
+}
+
+impl std::fmt::Display for MtbfDistribution {
+    /// Compact parameter rendering for run headers, e.g.
+    /// `hyperexp(cv2=4)` — enough to reproduce the run from the
+    /// artifact alone.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MtbfDistribution::Exponential => write!(f, "exponential"),
+            MtbfDistribution::HyperExp { cv2 } => write!(f, "hyperexp(cv2={cv2})"),
+            MtbfDistribution::Weibull { shape } => write!(f, "weibull(shape={shape})"),
         }
     }
 }
@@ -166,5 +243,49 @@ mod tests {
     #[should_panic(expected = "cv2 >= 1")]
     fn rejects_sub_exponential_cv2() {
         MtbfDistribution::HyperExp { cv2: 0.5 }.validate();
+    }
+
+    #[test]
+    fn residual_mean_is_memoryless_only_for_the_exponential() {
+        let exp = MtbfDistribution::Exponential;
+        assert_eq!(exp.residual_mean(100.0, 0.0), 100.0);
+        assert_eq!(exp.residual_mean(100.0, 1e6), 100.0);
+
+        // Hyperexponential: survivors are increasingly likely to sit on
+        // the slow branch, so the residual mean grows with age toward
+        // the slow branch's mean.
+        let hyper = MtbfDistribution::HyperExp { cv2: 4.0 };
+        let fresh = hyper.residual_mean(100.0, 0.0);
+        let old = hyper.residual_mean(100.0, 1_000.0);
+        assert!((fresh - 100.0).abs() < 1e-9, "age 0 must give the mean");
+        assert!(old > fresh, "hyperexp residual must grow: {old} vs {fresh}");
+        let p = 0.5 * (1.0 + (3.0f64 / 5.0).sqrt());
+        let slow_branch = 100.0 / (2.0 * (1.0 - p));
+        assert!(
+            hyper.residual_mean(100.0, 1e7) <= slow_branch + 1e-6,
+            "residual mean is bounded by the slow branch"
+        );
+
+        // Weibull: shape 1 is exponential; wear-out (k > 1) penalizes
+        // survivors, infant mortality (k < 1) rewards them.
+        let w1 = MtbfDistribution::Weibull { shape: 1.0 };
+        assert!((w1.residual_mean(100.0, 500.0) - 100.0).abs() < 1.0);
+        let wear = MtbfDistribution::Weibull { shape: 2.0 };
+        assert!(wear.residual_mean(100.0, 300.0) < 100.0);
+        let infant = MtbfDistribution::Weibull { shape: 0.7 };
+        assert!(infant.residual_mean(100.0, 300.0) > 100.0);
+    }
+
+    #[test]
+    fn display_names_the_parameters() {
+        assert_eq!(MtbfDistribution::Exponential.to_string(), "exponential");
+        assert_eq!(
+            MtbfDistribution::HyperExp { cv2: 4.0 }.to_string(),
+            "hyperexp(cv2=4)"
+        );
+        assert_eq!(
+            MtbfDistribution::Weibull { shape: 0.7 }.to_string(),
+            "weibull(shape=0.7)"
+        );
     }
 }

@@ -42,6 +42,36 @@ pub struct FaultSpec {
     /// (see [`FaultSpec::checkpoint_every`]).
     #[serde(default)]
     pub checkpoint_interval: usize,
+    /// Number of failure domains (racks). Host `h` belongs to domain
+    /// `h % domains`; `0` disables the domain layer entirely (and with
+    /// it correlated shocks).
+    #[serde(default)]
+    pub domains: usize,
+    /// Mean time between correlated shock storms *per domain*, seconds;
+    /// `0` disables shocks. A storm lasts [`FaultSpec::shock_window_secs`]
+    /// and each host of the domain dies during it with probability
+    /// [`FaultSpec::shock_severity`], at an instant drawn uniformly
+    /// inside the window — so one shared event can take a whole rack
+    /// down, and a storming rack keeps killing hosts placed into it.
+    #[serde(default)]
+    pub shock_mtbf_secs: f64,
+    /// Duration of one shock storm, seconds; must be positive whenever
+    /// shocks are enabled.
+    #[serde(default)]
+    pub shock_window_secs: f64,
+    /// Per-host kill probability per storm (`0 < p <= 1`, with 1
+    /// taking the whole domain down in one event); must be set
+    /// explicitly whenever `shock_mtbf_secs > 0`.
+    #[serde(default)]
+    pub shock_severity: f64,
+    /// Log-uniform per-host MTBF multiplier spread: each host's
+    /// effective crash MTBF is `mtbf_secs × m` with `m` log-uniform in
+    /// `[1/spread, spread]`, drawn from a salted per-host stream. `0`
+    /// (or `1`) disables the spread (homogeneous hosts). This is a
+    /// *modifier* of the crash class, not a class of its own: toggling
+    /// it rescales crash instants but consumes no extra draws.
+    #[serde(default)]
+    pub host_mtbf_spread: f64,
     /// Extra seed mixed into the fault streams, so different fault
     /// scenarios can be layered over identical platform realizations.
     #[serde(default)]
@@ -66,7 +96,32 @@ impl FaultSpec {
             link_window_secs: 0.0,
             link_factor: 0.0,
             checkpoint_interval: 0,
+            domains: 0,
+            shock_mtbf_secs: 0.0,
+            shock_window_secs: 0.0,
+            shock_severity: 0.0,
+            host_mtbf_spread: 0.0,
             fault_seed: 0,
+        }
+    }
+
+    /// Correlated rack shocks only: `domains` failure domains, storms
+    /// every `shock_mtbf_secs` per domain lasting `shock_window_secs`,
+    /// killing each domain host with probability `shock_severity`.
+    pub fn correlated_shocks(
+        domains: usize,
+        shock_mtbf_secs: f64,
+        shock_window_secs: f64,
+        shock_severity: f64,
+        fault_seed: u64,
+    ) -> Self {
+        FaultSpec {
+            domains,
+            shock_mtbf_secs,
+            shock_window_secs,
+            shock_severity,
+            fault_seed,
+            ..FaultSpec::disabled()
         }
     }
 
@@ -82,7 +137,16 @@ impl FaultSpec {
 
     /// Whether any fault class is active.
     pub fn is_enabled(&self) -> bool {
-        self.mtbf_secs > 0.0 || self.blackout_mtbf_secs > 0.0 || self.link_mtbf_secs > 0.0
+        self.mtbf_secs > 0.0
+            || self.blackout_mtbf_secs > 0.0
+            || self.link_mtbf_secs > 0.0
+            || self.shocks_enabled()
+    }
+
+    /// Whether the correlated-shock layer is active (needs both a
+    /// domain count and a shock rate).
+    pub fn shocks_enabled(&self) -> bool {
+        self.domains > 0 && self.shock_mtbf_secs > 0.0
     }
 
     /// The failure-aware CR rollback granularity: `checkpoint_interval`,
@@ -125,6 +189,29 @@ impl FaultSpec {
                 "link_factor must be in (0, 1]"
             );
         }
+        assert!(self.shock_mtbf_secs >= 0.0 && self.shock_mtbf_secs.is_finite());
+        if self.shock_mtbf_secs > 0.0 {
+            assert!(self.domains >= 1, "shocks need at least one failure domain");
+            assert!(
+                self.shock_window_secs > 0.0,
+                "shocks need a positive storm window"
+            );
+            assert!(
+                self.shock_severity > 0.0 && self.shock_severity <= 1.0,
+                "shock_severity must be in (0, 1]"
+            );
+        }
+        assert!(
+            self.host_mtbf_spread == 0.0
+                || (self.host_mtbf_spread >= 1.0 && self.host_mtbf_spread.is_finite()),
+            "host_mtbf_spread must be 0 (off) or >= 1"
+        );
+    }
+
+    /// Failure domain of `host` (`host % domains`), or `None` when the
+    /// domain layer is off.
+    pub fn domain_of(&self, host: usize) -> Option<usize> {
+        (self.domains > 0).then(|| host % self.domains)
     }
 }
 
@@ -153,6 +240,44 @@ mod tests {
         assert_eq!(sparse.crash_dist, MtbfDistribution::HyperExp { cv2: 4.0 });
         assert_eq!(sparse.checkpoint_every(), 5);
         sparse.validate();
+    }
+
+    #[test]
+    fn shock_layer_enables_and_maps_domains() {
+        let s = FaultSpec::correlated_shocks(4, 2_000.0, 300.0, 0.5, 3);
+        s.validate();
+        assert!(s.is_enabled() && s.shocks_enabled());
+        assert_eq!(s.domain_of(0), Some(0));
+        assert_eq!(s.domain_of(7), Some(3));
+        assert_eq!(FaultSpec::disabled().domain_of(7), None);
+        // Sparse documents without the new fields still parse, with the
+        // shock layer off and full severity.
+        let sparse: FaultSpec = serde_json::from_str(r#"{"mtbf_secs": 2000.0}"#).unwrap();
+        assert!(!sparse.shocks_enabled());
+        assert_eq!(sparse.shock_severity, 0.0);
+        assert_eq!(sparse.host_mtbf_spread, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "storm window")]
+    fn rejects_shocks_without_window() {
+        FaultSpec {
+            domains: 2,
+            shock_mtbf_secs: 100.0,
+            ..FaultSpec::disabled()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "host_mtbf_spread")]
+    fn rejects_sub_unity_spread() {
+        FaultSpec {
+            mtbf_secs: 1_000.0,
+            host_mtbf_spread: 0.5,
+            ..FaultSpec::disabled()
+        }
+        .validate();
     }
 
     #[test]

@@ -175,6 +175,21 @@ pub fn render(bundle: &TraceBundle) -> String {
                         key = action.key(),
                     );
                 }
+                TraceEvent::PolicyDecision {
+                    t,
+                    policy,
+                    failed,
+                    chosen,
+                    ranked,
+                } => {
+                    let target = chosen
+                        .map(|c| format!("host {failed} -> {c}"))
+                        .unwrap_or_else(|| format!("host {failed} -> no spare left"));
+                    let _ = writeln!(
+                        out,
+                        "t={t:>12.3}s           PLACE    {target} via {policy} (ranked {ranked:?})",
+                    );
+                }
                 // Not part of the decision audit: iteration structure,
                 // load, probes, swap/checkpoint execution, fault
                 // injections (the failure *detection* is audited above),

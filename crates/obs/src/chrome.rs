@@ -484,6 +484,34 @@ pub fn to_chrome_trace(bundle: &TraceBundle) -> String {
                         Some(obj(args)),
                     ));
                 }
+                TraceEvent::PolicyDecision {
+                    t,
+                    policy,
+                    failed,
+                    chosen,
+                    ranked,
+                } => {
+                    let args = vec![
+                        ("policy", str_v(policy.clone())),
+                        ("failed", u64_v(*failed as u64)),
+                        (
+                            "chosen",
+                            chosen.map(|c| u64_v(c as u64)).unwrap_or(Value::Null),
+                        ),
+                        (
+                            "ranked",
+                            Value::Seq(ranked.iter().map(|&h| u64_v(h as u64)).collect()),
+                        ),
+                    ];
+                    events.push(instant(
+                        format!("placement: {policy}"),
+                        "policy",
+                        pid,
+                        MANAGER_TID,
+                        *t,
+                        Some(obj(args)),
+                    ));
+                }
             }
         }
     }

@@ -59,6 +59,9 @@ pub enum FaultKind {
     Blackout,
     /// Degraded-bandwidth window on the shared link.
     LinkDegraded,
+    /// Permanent host death caused by a correlated rack shock (the
+    /// domain-level storm killed it, not its independent crash draw).
+    RackShock,
 }
 
 impl FaultKind {
@@ -68,6 +71,7 @@ impl FaultKind {
             FaultKind::Crash => "crash",
             FaultKind::Blackout => "blackout",
             FaultKind::LinkDegraded => "link_degraded",
+            FaultKind::RackShock => "rack_shock",
         }
     }
 }
@@ -248,6 +252,17 @@ pub enum TraceEvent {
         action: RecoveryAction,
         pause_secs: f64,
     },
+    /// A placement policy ranked the spare candidates for a recovery.
+    /// `ranked` lists every candidate host best-first (the policy's
+    /// full ordering, so an audit can second-guess it); `chosen` is the
+    /// spare actually taken (`None` when no spare was left).
+    PolicyDecision {
+        t: f64,
+        policy: String,
+        failed: usize,
+        chosen: Option<usize>,
+        ranked: Vec<usize>,
+    },
 }
 
 impl TraceEvent {
@@ -266,7 +281,8 @@ impl TraceEvent {
             | TraceEvent::ProtocolQueueDepth { t, .. }
             | TraceEvent::FaultInjected { t, .. }
             | TraceEvent::FailureDetected { t, .. }
-            | TraceEvent::RecoveryComplete { t, .. } => *t,
+            | TraceEvent::RecoveryComplete { t, .. }
+            | TraceEvent::PolicyDecision { t, .. } => *t,
             TraceEvent::ComputeSpan { start, .. } => *start,
             TraceEvent::MsgRecv { t0, .. }
             | TraceEvent::Collective { t0, .. }
@@ -295,6 +311,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::FailureDetected { .. } => "failure_detected",
             TraceEvent::RecoveryComplete { .. } => "recovery_complete",
+            TraceEvent::PolicyDecision { .. } => "policy_decision",
         }
     }
 }
@@ -379,6 +396,20 @@ mod tests {
                 replacement: Some(17),
                 action: RecoveryAction::SpareSwap,
                 pause_secs: 16.7,
+            },
+            TraceEvent::FaultInjected {
+                t: 80.0,
+                host: Some(5),
+                fault: FaultKind::RackShock,
+                duration_secs: None,
+                factor: None,
+            },
+            TraceEvent::PolicyDecision {
+                t: 131.0,
+                policy: "mtbf_aware".to_owned(),
+                failed: 3,
+                chosen: Some(17),
+                ranked: vec![17, 21, 19],
             },
         ];
         for e in events {

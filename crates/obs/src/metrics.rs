@@ -129,6 +129,8 @@ impl Metrics {
     ///   `failures_detected`, `failures_detected.<cause>`, `recoveries`,
     ///   `recoveries.<action>` — fault-injection tallies, plus the
     ///   `recovery_pause_secs` histogram of time lost to each recovery;
+    /// * `policy_decisions`, `policy_decisions.<policy>` — placement
+    ///   rankings made by the policy layer;
     /// * histograms `iter_time/<label>`, `payback`, `swap_transfer_secs`,
     ///   `decision_latency_sim_secs` (time from iteration end to the
     ///   decision's timestamp — zero in the discrete simulator, nonzero
@@ -224,6 +226,10 @@ impl Metrics {
                         m.incr("recoveries", 1);
                         m.incr(&format!("recoveries.{}", action.key()), 1);
                         m.observe("recovery_pause_secs", *pause_secs);
+                    }
+                    TraceEvent::PolicyDecision { policy, .. } => {
+                        m.incr("policy_decisions", 1);
+                        m.incr(&format!("policy_decisions.{policy}"), 1);
                     }
                     TraceEvent::IterStart { .. }
                     | TraceEvent::ComputeSpan { .. }

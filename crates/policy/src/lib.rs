@@ -1,0 +1,139 @@
+//! The decision layer of the swap simulator.
+//!
+//! The paper is titled *Policies* for Swapping MPI Processes, and this
+//! crate makes the policies first-class: instead of embedding choices
+//! inline, the strategies consult a [`PolicySet`] at their existing
+//! decision points —
+//!
+//! * **Spare placement** ([`SparePlacement`]): when an active host dies,
+//!   which spare replaces it? [`FirstAlive`] reproduces the legacy
+//!   probe-ranked choice byte-for-byte; [`MtbfAware`] ranks spares by
+//!   expected residual lifetime (from the host's
+//!   [`faults::MtbfDistribution`] plus elapsed uptime); [`RackAware`]
+//!   avoids co-locating a replacement in a failure domain with a recent
+//!   shock.
+//! * **Checkpoint cadence** ([`CheckpointPolicy`]): how many iterations
+//!   between CR checkpoints? [`FixedInterval`] keeps the configured
+//!   cadence; [`YoungDaly`] applies the classic `√(2·δ·MTBF)` optimum,
+//!   recomputed as the observed failure rate drifts.
+//!
+//! Everything here is pure, deterministic arithmetic — no sampling, no
+//! clocks — so a policy-driven run stays bit-reproducible across worker
+//! counts and repeated runs, exactly like the strategies themselves.
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod placement;
+
+pub use checkpoint::{
+    CheckpointChoice, CheckpointPolicy, CheckpointQuery, FixedInterval, YoungDaly,
+};
+pub use placement::{
+    FirstAlive, MtbfAware, PlacementChoice, RackAware, SpareCandidate, SparePlacement,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// The full policy bundle a strategy consults: one placement policy and
+/// one checkpoint policy.
+pub struct PolicySet {
+    /// Ranks spare candidates when replacing a dead active host.
+    pub placement: Box<dyn SparePlacement>,
+    /// Chooses the CR checkpoint cadence.
+    pub checkpoint: Box<dyn CheckpointPolicy>,
+}
+
+impl PolicySet {
+    /// The legacy-equivalent bundle: [`FirstAlive`] placement and
+    /// [`FixedInterval`] checkpoints. Running with this set produces
+    /// byte-identical results to running with no policy layer at all.
+    pub fn legacy() -> Self {
+        PolicySet {
+            placement: Box::new(FirstAlive),
+            checkpoint: Box::new(FixedInterval),
+        }
+    }
+}
+
+/// Serializable policy selection for scenario files and CLI flags;
+/// [`PolicyConfig::build`] materializes the trait objects.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Which spare-placement policy to consult.
+    #[serde(default)]
+    pub placement: PlacementChoice,
+    /// Which checkpoint-interval policy to consult.
+    #[serde(default)]
+    pub checkpoint: CheckpointChoice,
+    /// How long after a rack alarm [`RackAware`] keeps avoiding the
+    /// domain, seconds; `0` (the default) means "the fault spec's storm
+    /// window", falling back to infinity when no window is configured.
+    #[serde(default)]
+    pub shock_lookback_secs: f64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            placement: PlacementChoice::FirstAlive,
+            checkpoint: CheckpointChoice::FixedInterval,
+            shock_lookback_secs: 0.0,
+        }
+    }
+}
+
+impl PolicyConfig {
+    /// A config selecting just a placement policy (legacy checkpoints).
+    pub fn for_placement(placement: PlacementChoice) -> Self {
+        PolicyConfig {
+            placement,
+            ..PolicyConfig::default()
+        }
+    }
+
+    /// Materializes the policy set. `default_lookback_secs` seeds
+    /// [`RackAware`]'s avoidance window when `shock_lookback_secs` is 0
+    /// (pass the fault spec's `shock_window_secs`, or 0 for "avoid
+    /// shocked domains forever").
+    pub fn build(&self, default_lookback_secs: f64) -> PolicySet {
+        let lookback = if self.shock_lookback_secs > 0.0 {
+            self.shock_lookback_secs
+        } else if default_lookback_secs > 0.0 {
+            default_lookback_secs
+        } else {
+            f64::INFINITY
+        };
+        PolicySet {
+            placement: self.placement.build(lookback),
+            checkpoint: self.checkpoint.build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trips_and_defaults_to_legacy() {
+        let c = PolicyConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PolicyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        let sparse: PolicyConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, c);
+        let set = sparse.build(0.0);
+        assert_eq!(set.placement.name(), "first_alive");
+        assert_eq!(set.checkpoint.name(), "fixed_interval");
+    }
+
+    #[test]
+    fn config_selects_the_named_policies() {
+        let json = r#"{"placement": "rack_aware", "checkpoint": "young_daly"}"#;
+        let c: PolicyConfig = serde_json::from_str(json).unwrap();
+        let set = c.build(600.0);
+        assert_eq!(set.placement.name(), "rack_aware");
+        assert_eq!(set.checkpoint.name(), "young_daly");
+    }
+}

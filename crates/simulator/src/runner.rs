@@ -163,7 +163,10 @@ pub fn run_replicated_jobs(
     seeds: &[u64],
     jobs: usize,
 ) -> ReplicatedResult {
-    run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, false, None).0
+    run_replicated_inner(
+        spec, app, strategy, allocated, seeds, jobs, false, None, None,
+    )
+    .0
 }
 
 /// Like [`run_replicated_jobs`], with deterministic fault injection.
@@ -191,8 +194,67 @@ pub fn run_replicated_faults(
         jobs,
         false,
         Some(faults),
+        None,
     )
     .0
+}
+
+/// Like [`run_replicated_faults`], with a policy bundle attached: the
+/// strategy consults `policies` at its placement and checkpoint decision
+/// points instead of the legacy inline choices. With
+/// [`policy::PolicySet::legacy`] the simulated timings are identical to
+/// [`run_replicated_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_policies(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+    faults: &faults::FaultSpec,
+    policies: &policy::PolicySet,
+) -> ReplicatedResult {
+    run_replicated_inner(
+        spec,
+        app,
+        strategy,
+        allocated,
+        seeds,
+        jobs,
+        false,
+        Some(faults),
+        Some(policies),
+    )
+    .0
+}
+
+/// Traced form of [`run_replicated_policies`]: the traces additionally
+/// carry one [`obs::TraceEvent::PolicyDecision`] per placement
+/// consultation (ranked candidates plus the chosen spare).
+#[allow(clippy::too_many_arguments)]
+pub fn run_replicated_policies_traced(
+    spec: &PlatformSpec,
+    app: &AppSpec,
+    strategy: &dyn Strategy,
+    allocated: usize,
+    seeds: &[u64],
+    jobs: usize,
+    faults: &faults::FaultSpec,
+    policies: &policy::PolicySet,
+) -> (ReplicatedResult, Vec<obs::Trace>) {
+    let (result, traces) = run_replicated_inner(
+        spec,
+        app,
+        strategy,
+        allocated,
+        seeds,
+        jobs,
+        true,
+        Some(faults),
+        Some(policies),
+    );
+    (result, traces.expect("tracing was requested"))
 }
 
 /// Traced form of [`run_replicated_faults`]: every injected fault
@@ -217,6 +279,7 @@ pub fn run_replicated_faults_traced(
         jobs,
         true,
         Some(faults),
+        None,
     );
     (result, traces.expect("tracing was requested"))
 }
@@ -237,8 +300,9 @@ pub fn run_replicated_traced(
     seeds: &[u64],
     jobs: usize,
 ) -> (ReplicatedResult, Vec<obs::Trace>) {
-    let (result, traces) =
-        run_replicated_inner(spec, app, strategy, allocated, seeds, jobs, true, None);
+    let (result, traces) = run_replicated_inner(
+        spec, app, strategy, allocated, seeds, jobs, true, None, None,
+    );
     (result, traces.expect("tracing was requested"))
 }
 
@@ -252,6 +316,7 @@ fn run_replicated_inner(
     jobs: usize,
     trace: bool,
     faults: Option<&faults::FaultSpec>,
+    policies: Option<&policy::PolicySet>,
 ) -> (ReplicatedResult, Option<Vec<obs::Trace>>) {
     assert!(!seeds.is_empty(), "need at least one seed");
     let faults = faults.filter(|f| f.is_enabled());
@@ -267,6 +332,9 @@ fn run_replicated_inner(
             let mut ctx = RunContext::new(&platform, app, allocated);
             if let Some(plan) = &plan {
                 ctx = ctx.with_faults(plan);
+            }
+            if let Some(ps) = policies {
+                ctx = ctx.with_policies(ps);
             }
             let collector = trace.then(obs::Collector::new);
             if let Some(c) = &collector {
@@ -326,18 +394,25 @@ fn append_load_changes(
 }
 
 /// Appends every injected fault in `plan` as `FaultInjected` events,
-/// clipped to `[0, horizon_t]`: permanent crashes (no duration), host
-/// blackout windows (duration, clipped), and shared-link degradation
-/// windows (duration + bandwidth factor). Emitted by the runner — not
-/// the strategies — so each fault appears exactly once per trace.
+/// clipped to `[0, horizon_t]`: permanent deaths (no duration; kind
+/// `Crash` for the independent draw, `RackShock` when a correlated storm
+/// got there first), host blackout windows (duration, clipped), and
+/// shared-link degradation windows (duration + bandwidth factor).
+/// Emitted by the runner — not the strategies — so each fault appears
+/// exactly once per trace.
 fn append_fault_events(trace: &mut obs::Trace, plan: &faults::FaultPlan, horizon_t: f64) {
     for (host, sched) in plan.hosts.iter().enumerate() {
-        if let Some(c) = sched.crash {
+        if let Some(c) = plan.crash_time(host) {
             if c <= horizon_t {
+                let shocked = sched.shock_kill.is_some_and(|k| k <= c);
                 trace.events.push(obs::TraceEvent::FaultInjected {
                     t: c,
                     host: Some(host),
-                    fault: obs::FaultKind::Crash,
+                    fault: if shocked {
+                        obs::FaultKind::RackShock
+                    } else {
+                        obs::FaultKind::Crash
+                    },
                     duration_secs: None,
                     factor: None,
                 });
@@ -581,6 +656,54 @@ mod tests {
             .filter(|e| matches!(e, obs::TraceEvent::FaultInjected { .. }))
             .count();
         assert!(injected > 0, "no fault events recorded");
+    }
+
+    #[test]
+    fn legacy_policy_set_matches_plain_fault_runs_bit_for_bit() {
+        use crate::strategies::{Cr, Swap};
+        let spec = tiny_spec(LoadSpec::Unloaded);
+        let mut app = tiny_app();
+        app.iterations = 40;
+        let fs = faults::FaultSpec::crashes_only(600.0, 7);
+        let seeds = default_seeds(6);
+        let legacy = policy::PolicySet::legacy();
+        for strategy in [&Swap::greedy() as &dyn Strategy, &Cr::greedy()] {
+            let plain = run_replicated_faults(&spec, &app, strategy, 4, &seeds, 1, &fs);
+            let with = run_replicated_policies(&spec, &app, strategy, 4, &seeds, 1, &fs, &legacy);
+            for (a, b) in with.runs.iter().zip(&plain.runs) {
+                assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+                assert_eq!(a.recoveries, b.recoveries);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_runs_emit_one_decision_per_spare_placement() {
+        use crate::strategies::Swap;
+        let spec = tiny_spec(LoadSpec::Unloaded);
+        let mut app = tiny_app();
+        app.iterations = 40;
+        let fs = faults::FaultSpec::crashes_only(600.0, 7);
+        let seeds = default_seeds(6);
+        let set =
+            policy::PolicyConfig::for_placement(policy::PlacementChoice::MtbfAware).build(0.0);
+        let (result, traces) =
+            run_replicated_policies_traced(&spec, &app, &Swap::greedy(), 4, &seeds, 2, &fs, &set);
+        let recoveries: usize = result.runs.iter().map(|r| r.recoveries).sum();
+        assert!(recoveries > 0, "no crash recovered in any replication");
+        let decisions = traces
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| {
+                matches!(e, obs::TraceEvent::PolicyDecision { policy, .. } if policy == "mtbf_aware")
+            })
+            .count();
+        // One ranking per recovered placement, plus one per stranded
+        // attempt (empty candidate set still consults the policy).
+        assert!(
+            decisions >= recoveries,
+            "decisions {decisions} < recoveries {recoveries}"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! best-predicted processors in the allocated pool), but pays the full
 //! checkpoint write + MPI restart + checkpoint read each time.
 
-use super::{rank_by_probe, RunContext, Strategy};
+use super::{policy_candidates, rank_by_probe, RunContext, Strategy};
 use crate::exec::{probe_host, run_iteration, run_iteration_faults, IterationRecord, RunResult};
 use crate::schedule::{equal_partition, fastest_hosts};
 use std::collections::HashMap;
@@ -88,6 +88,11 @@ impl Cr {
         // Iteration index the last durable checkpoint covers (state as of
         // the *start* of this index). Index 0 is free: the input deck.
         let mut ckpt_index = 0usize;
+        // Online estimates a checkpoint policy keys on: observed mean
+        // iteration time and the empirical per-host MTBF (total host-time
+        // over observed failures; None until the first failure).
+        let mut iter_secs_sum = 0.0;
+        let mut iters_run = 0usize;
 
         let mut index = 0;
         while index < app.iterations {
@@ -113,8 +118,23 @@ impl Cr {
                 // Roll back: re-read the checkpoint, restart the N
                 // application processes on the best survivors, and lose
                 // every iteration since the checkpoint.
-                active =
-                    rank_by_probe(ctx.platform, pool.iter().copied(), t, detected)[..n].to_vec();
+                let probe_ranked = rank_by_probe(ctx.platform, pool.iter().copied(), t, detected);
+                active = match ctx.policies {
+                    None => probe_ranked[..n].to_vec(),
+                    Some(ps) => {
+                        let candidates =
+                            policy_candidates(plan, ctx.platform, &probe_ranked, t, detected);
+                        let ranked = ps.placement.rank(&candidates, detected);
+                        ctx.emit(|| obs::TraceEvent::PolicyDecision {
+                            t: detected,
+                            policy: ps.placement.name().to_owned(),
+                            failed: fi.failed[0],
+                            chosen: ranked.first().copied(),
+                            ranked: ranked.clone(),
+                        });
+                        ranked[..n].to_vec()
+                    }
+                };
                 ctx.emit(|| obs::TraceEvent::RecoveryComplete {
                     t: detected + restart_pause,
                     host: fi.failed[0],
@@ -135,9 +155,30 @@ impl Cr {
             ctx.emit_iteration(index, &active, t, &out);
             pool.retain(|&h| !plan.is_crashed(h, out.end));
 
+            iter_secs_sum += out.end - t;
+            iters_run += 1;
+
             let completed = index + 1;
             let mut adapt_time = 0.0;
-            if completed % every == 0 && completed < app.iterations {
+            // Cadence: the legacy path keeps the exact modulo trigger;
+            // the policy path asks for the interval since the last
+            // durable checkpoint (identical for `FixedInterval`, since
+            // `ckpt_index` is always a multiple of the fixed cadence,
+            // but lets `YoungDaly` drift with the observed failure rate).
+            let should_checkpoint = match ctx.policies {
+                None => completed % every == 0,
+                Some(ps) => {
+                    let q = policy::CheckpointQuery {
+                        delta_secs: ckpt_write,
+                        mtbf_secs: (failures > 0).then(|| out.end * alloc as f64 / failures as f64),
+                        mean_iter_secs: iter_secs_sum / iters_run as f64,
+                        default_every: every,
+                        n_active: n,
+                    };
+                    completed - ckpt_index >= ps.checkpoint.interval_iters(&q)
+                }
+            };
+            if should_checkpoint && completed < app.iterations {
                 adapt_time = ckpt_write;
                 ctx.emit(|| obs::TraceEvent::Checkpoint {
                     t: out.end,

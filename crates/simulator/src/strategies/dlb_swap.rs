@@ -11,7 +11,7 @@
 //! (like [`super::Swap`]): load balancing handles intra-set skew, while
 //! swapping escapes processors whose absolute performance has collapsed.
 
-use super::{rank_by_probe, RunContext, Strategy};
+use super::{choose_spare, RunContext, Strategy};
 use crate::exec::{probe_host, run_iteration, run_iteration_faults, IterationRecord, RunResult};
 use crate::schedule::{balanced_partition, fastest_hosts};
 use std::collections::HashMap;
@@ -86,8 +86,7 @@ impl DlbSwap {
                 let mut stranded = false;
                 for &dead in &fi.failed {
                     let spares = pool.iter().copied().filter(|h| !active.contains(h));
-                    let Some(&best) = rank_by_probe(ctx.platform, spares, t, detected).first()
-                    else {
+                    let Some(best) = choose_spare(ctx, plan, spares, dead, t, detected) else {
                         stranded = true;
                         break;
                     };

@@ -40,6 +40,11 @@ pub struct RunContext<'a> {
     /// fault-free code path — strategies branch on this once at the top
     /// of `run`, so disabled faults cannot perturb the simulation.
     pub faults: Option<&'a faults::FaultPlan>,
+    /// Optional decision-policy bundle. `None` (the default) keeps the
+    /// legacy inline choices (probe-ranked spare placement, fixed
+    /// checkpoint cadence) with no `PolicyDecision` events, so runs
+    /// without a policy layer stay byte-identical to earlier builds.
+    pub policies: Option<&'a policy::PolicySet>,
 }
 
 impl<'a> RunContext<'a> {
@@ -63,6 +68,7 @@ impl<'a> RunContext<'a> {
             allocated: allocated.clamp(app.n_active, platform.hosts.len()),
             trace: None,
             faults: None,
+            policies: None,
         }
     }
 
@@ -78,6 +84,14 @@ impl<'a> RunContext<'a> {
     /// plan's blackouts (see [`Platform::apply_blackouts`]).
     pub fn with_faults(mut self, plan: &'a faults::FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a policy bundle; the failure-aware strategy paths consult
+    /// it at their placement and checkpoint decision points (and emit a
+    /// `PolicyDecision` event per consultation).
+    pub fn with_policies(mut self, policies: &'a policy::PolicySet) -> Self {
+        self.policies = Some(policies);
         self
     }
 
@@ -135,6 +149,65 @@ pub(crate) fn rank_by_probe(
         .collect();
     ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     ranked.into_iter().map(|(_, h)| h).collect()
+}
+
+/// Builds the [`policy::SpareCandidate`] descriptors a placement policy
+/// sees: one per probe-ranked candidate, carrying everything the fault
+/// plan makes observable (effective MTBF, distribution family, failure
+/// domain, last rack alarm at or before `t1`).
+pub(crate) fn policy_candidates(
+    plan: &faults::FaultPlan,
+    platform: &Platform,
+    ranked: &[usize],
+    t0: f64,
+    t1: f64,
+) -> Vec<policy::SpareCandidate> {
+    ranked
+        .iter()
+        .map(|&h| {
+            let domain = plan.domain_of(h);
+            policy::SpareCandidate {
+                host: h,
+                probe_rate: crate::exec::probe_host(platform, h, t0, t1),
+                uptime_secs: t1,
+                mtbf_secs: plan.host_mtbf(h),
+                dist: plan.crash_dist,
+                domain,
+                last_domain_shock: domain.and_then(|d| plan.last_shock_before(d, t1)),
+            }
+        })
+        .collect()
+}
+
+/// Picks the spare replacing `dead` at a recovery point: probe-rank the
+/// spares (the legacy order), then — when a policy bundle is attached —
+/// let its placement policy re-rank them and emit the `PolicyDecision`
+/// audit event. With no policy bundle this is byte-identical to the
+/// inline `rank_by_probe(..).first()` the strategies used before the
+/// policy layer existed.
+pub(crate) fn choose_spare(
+    ctx: &RunContext<'_>,
+    plan: &faults::FaultPlan,
+    spares: impl IntoIterator<Item = usize>,
+    dead: usize,
+    t0: f64,
+    t1: f64,
+) -> Option<usize> {
+    let probe_ranked = rank_by_probe(ctx.platform, spares, t0, t1);
+    let Some(ps) = ctx.policies else {
+        return probe_ranked.first().copied();
+    };
+    let candidates = policy_candidates(plan, ctx.platform, &probe_ranked, t0, t1);
+    let ranked = ps.placement.rank(&candidates, t1);
+    let chosen = ranked.first().copied();
+    ctx.emit(|| obs::TraceEvent::PolicyDecision {
+        t: t1,
+        policy: ps.placement.name().to_owned(),
+        failed: dead,
+        chosen,
+        ranked: ranked.clone(),
+    });
+    chosen
 }
 
 /// An execution strategy: how the application reacts (or not) to the

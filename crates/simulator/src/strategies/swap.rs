@@ -10,7 +10,7 @@
 //! spare(s). Each admitted exchange pauses the application for
 //! `α + state/β` while the process state crosses the shared link.
 
-use super::{rank_by_probe, RunContext, Strategy};
+use super::{choose_spare, RunContext, Strategy};
 use crate::exec::{probe_host, run_iteration, run_iteration_faults, IterationRecord, RunResult};
 use crate::schedule::{equal_partition, fastest_hosts};
 use std::collections::HashMap;
@@ -130,8 +130,7 @@ impl Swap {
                 let mut stranded = false;
                 for &dead in &fi.failed {
                     let spares = pool.iter().copied().filter(|h| !active.contains(h));
-                    let Some(&best) = rank_by_probe(ctx.platform, spares, t, detected).first()
-                    else {
+                    let Some(best) = choose_spare(ctx, plan, spares, dead, t, detected) else {
                         stranded = true;
                         break;
                     };

@@ -7,13 +7,19 @@
 //!   paper's contribution).
 //! * [`simkit`] — discrete-event + fluid simulation substrate.
 //! * [`loadmodel`] — ON/OFF and hyperexponential CPU load models.
+//! * [`faults`] — deterministic fault injection: crash/blackout/link
+//!   schedules, correlated rack shocks, per-host MTBF spread.
+//! * [`policy`] — the pluggable decision layer: spare-placement and
+//!   checkpoint-interval policies the strategies consult.
 //! * [`minimpi`] — in-process MPI-like runtime with live process swapping.
 //! * [`simulator`] — platform/application models and the four execution
 //!   strategies (NOTHING, SWAP, DLB, CR) plus the experiment runner.
 
+pub use faults;
 pub use loadmodel;
 pub use minimpi;
 pub use obs;
+pub use policy;
 pub use simkit;
 pub use simulator;
 pub use swap_core;
