@@ -585,8 +585,13 @@ fn emit_figure(
     // summaries carry no points and get no timing file.
     if let Some(timing_path) = &artifacts.timing {
         let t = timing;
+        let cache = if t.cache_hits + t.cache_misses > 0 {
+            format!(", cache {}/{}", t.cache_hits, t.cache_misses)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x, {:.0}% util) -> {}",
+            "timing: {} points, compute {:.1}s over {} workers, wall {:.1}s ({:.1}x, {:.0}% util{cache}) -> {}",
             t.points.len(),
             t.compute_secs,
             t.jobs_effective,

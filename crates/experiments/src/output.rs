@@ -395,7 +395,7 @@ mod tests {
         // A summary with points gets `<id>.timing.json`.
         let col = crate::timing::Collection::begin("figX", 1, 1);
         col.expect_items(1);
-        col.record(0, "a", 0.0, 0.5, 0);
+        col.record(0, crate::timing::CellCost::serial("a", 0.0, 0.5, Some(0)));
         col.record_worker_busy(&[0.5]);
         let t = col.finish(0.5);
         let a = write_artifacts(&dir, &f, Some(&t), None);
@@ -407,6 +407,9 @@ mod tests {
             "wall_secs",
             "worker",
             "start_secs",
+            "nested_jobs",
+            "cache_hits",
+            "cache_misses",
         ] {
             assert!(text.contains(field), "timing JSON missing {field}");
         }

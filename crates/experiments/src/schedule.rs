@@ -316,7 +316,10 @@ mod tests {
         assert_eq!(a.id, "fig4");
         assert_eq!(b.id, "fig5");
         assert!(!a.points.is_empty() && !b.points.is_empty());
-        assert!(a.points.iter().all(|p| p.worker < a.jobs_effective));
+        assert!(a
+            .points
+            .iter()
+            .all(|p| p.worker.is_some_and(|w| w < a.jobs_effective)));
         // The shared pool fixes the worker count at the pool size.
         assert_eq!(a.jobs_effective, 2);
         assert_eq!(b.jobs_effective, 2);
@@ -362,6 +365,8 @@ mod tests {
                 worker_busy_secs: vec![secs / 4.0; 4],
                 busy_secs: secs,
                 utilization: 1.0,
+                cache_hits: 0,
+                cache_misses: 0,
                 points: vec![],
             };
             std::fs::write(

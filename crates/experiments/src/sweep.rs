@@ -15,11 +15,40 @@
 //! results are reassembled in grid order, so the produced
 //! [`Series`] are **bit-identical** for every `jobs` setting and for
 //! pooled vs per-call execution.
+//!
+//! Two cell-level levers ride on every sweep, both output-transparent
+//! (see [`simulator::runner::enter_cell`]):
+//!
+//! * **Nested seed-level parallelism.** A grid narrower than the
+//!   installed pool would leave workers idle — exactly the shape of the
+//!   tournament figures (few series × few points, many seeds). The
+//!   sweep then tells each cell to fan its per-seed loop out as
+//!   `ceil(workers / items)` bounded sub-tasks (capped at the seed
+//!   count) on the same pool, at the figure's priority.
+//! * **A shared realization cache.** All cells of one sweep share a
+//!   [`simulator::runner::RealizationCache`], so the series of a
+//!   tournament realize each `(spec, faults, seed)` input once instead
+//!   of once per strategy.
 
 use crate::config::Scale;
 use crate::output::Series;
-use crate::timing;
+use crate::timing::{self, CellCost};
+use simulator::runner::RealizationCache;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// The nested per-seed fan-out for a sweep of `items` cells: splits
+/// seeds only when an installed pool is wider than the grid (otherwise
+/// the grid itself saturates the workers) and there is more than one
+/// seed to split.
+fn nested_split(scale: &Scale, items: usize) -> usize {
+    match simkit::pool::installed() {
+        Some((pool, _)) if items > 0 && items < pool.workers() && scale.seeds > 1 => {
+            pool.workers().div_ceil(items).min(scale.seeds)
+        }
+        _ => 1,
+    }
+}
 
 /// Evaluates `eval(series_def, x)` for every cell of the
 /// `series_defs` × `xs` grid, using the scale's `jobs` worker threads
@@ -39,19 +68,39 @@ pub fn grid_sweep<S: Sync>(
     let items: Vec<(usize, usize)> = (0..series_defs.len())
         .flat_map(|si| (0..xs.len()).map(move |xi| (si, xi)))
         .collect();
-    // The collection handle is captured by the worker closure: workers
-    // may run on pool threads that have no activation of their own.
+    // The collection and pool handles are captured by the worker
+    // closure: workers run on pool threads that have no activation (or
+    // installation) of their own, so cell scopes must re-establish both.
     let col = timing::current();
     if let Some(c) = &col {
         c.expect_items(items.len());
     }
+    let pool_ctx = simkit::pool::installed();
+    let nested = nested_split(scale, items.len());
+    let cache = Arc::new(RealizationCache::new());
     let names: Vec<String> = series_defs.iter().map(&name_of).collect();
     let (ys, stats) = simkit::pool::map_stats_installed(&items, scale.jobs, |idx, &(si, xi)| {
+        let _pool = pool_ctx
+            .as_ref()
+            .map(|(pool, priority)| simkit::pool::install(pool, *priority));
+        let cell = simulator::runner::enter_cell(nested, Some(Arc::clone(&cache)));
         let t0 = Instant::now();
         let y = eval(&series_defs[si], xs[xi]);
         if let Some(c) = &col {
-            let worker = simkit::par::worker_slot().unwrap_or(0);
-            c.record(idx, &names[si], xs[xi], t0.elapsed().as_secs_f64(), worker);
+            let report = cell.report();
+            c.record(
+                idx,
+                CellCost {
+                    series: &names[si],
+                    x: xs[xi],
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                    worker: simkit::par::worker_slot(),
+                    nested_jobs: report.nested_jobs,
+                    cache_hits: report.cache_hits,
+                    cache_misses: report.cache_misses,
+                },
+            );
+            c.record_worker_busy(&report.worker_busy_secs);
         }
         y
     });
@@ -89,13 +138,32 @@ pub fn item_sweep<T: Sync, R: Send>(
     if let Some(c) = &col {
         c.expect_items(items.len());
     }
+    let pool_ctx = simkit::pool::installed();
+    let nested = nested_split(scale, items.len());
+    let cache = Arc::new(RealizationCache::new());
     let xs: Vec<f64> = items.iter().map(&x_of).collect();
     let (ys, stats) = simkit::pool::map_stats_installed(items, scale.jobs, |idx, item| {
+        let _pool = pool_ctx
+            .as_ref()
+            .map(|(pool, priority)| simkit::pool::install(pool, *priority));
+        let cell = simulator::runner::enter_cell(nested, Some(Arc::clone(&cache)));
         let t0 = Instant::now();
         let y = eval(item);
         if let Some(c) = &col {
-            let worker = simkit::par::worker_slot().unwrap_or(0);
-            c.record(idx, label, xs[idx], t0.elapsed().as_secs_f64(), worker);
+            let report = cell.report();
+            c.record(
+                idx,
+                CellCost {
+                    series: label,
+                    x: xs[idx],
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                    worker: simkit::par::worker_slot(),
+                    nested_jobs: report.nested_jobs,
+                    cache_hits: report.cache_hits,
+                    cache_misses: report.cache_misses,
+                },
+            );
+            c.record_worker_busy(&report.worker_busy_secs);
         }
         y
     });
@@ -201,6 +269,80 @@ mod tests {
         let s = col.finish(0.01);
         assert_eq!(s.points.len(), 4);
         assert_eq!(s.jobs_effective, 2);
-        assert!(s.points.iter().all(|p| p.worker < s.worker_busy_secs.len()));
+        assert!(s
+            .points
+            .iter()
+            .all(|p| p.worker.is_some_and(|w| w < s.worker_busy_secs.len())));
+        // Analytic cells: no replications, so no nesting and no cache.
+        assert!(s.points.iter().all(|p| p.nested_jobs == 1));
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn narrow_grid_under_a_wide_pool_nests_and_caches_replications() {
+        use simulator::platform::{LoadSpec, PlatformSpec};
+        use simulator::runner::run_replicated;
+        use simulator::strategies::{Nothing, Swap};
+        use simulator::AppSpec;
+
+        let spec = PlatformSpec {
+            n_hosts: 4,
+            speed_range: (1e8, 2e8),
+            link: simkit::link::SharedLink::new(1e-4, 6e6),
+            startup_per_process: 0.75,
+            load: LoadSpec::OnOff(loadmodel::OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)),
+            horizon: 10_000.0,
+        };
+        let app = AppSpec {
+            n_active: 2,
+            iterations: 5,
+            flops_per_proc_iter: 1e9,
+            bytes_per_proc_iter: 1e5,
+            process_state_bytes: 1e6,
+        };
+        let scale = Scale {
+            seeds: 6,
+            sweep_points: 2,
+            iterations: 5,
+            jobs: 1,
+            mtbf: None,
+            fault_seed: None,
+            placement: None,
+        };
+        let seeds: Vec<u64> = (0..scale.seeds as u64).collect();
+        // Two strategy series over one sweep point: a 2-cell tournament
+        // grid. Both series replicate the same (spec, seed) inputs.
+        let eval = |greedy: &bool, _x: f64| {
+            let r = if *greedy {
+                run_replicated(&spec, &app, &Swap::greedy(), 4, &seeds)
+            } else {
+                run_replicated(&spec, &app, &Nothing, 2, &seeds)
+            };
+            r.execution_time.mean
+        };
+        let baseline = grid_sweep(&scale, &[false, true], &[0.0], |g| format!("{g}"), eval);
+
+        let col = timing::Collection::begin("narrow-nested", 8, scale.seeds);
+        let _t = timing::activate(&col);
+        let pool = Arc::new(simkit::pool::WorkerPool::new(8));
+        let _p = simkit::pool::install(&pool, 0);
+        let nested = grid_sweep(&scale, &[false, true], &[0.0], |g| format!("{g}"), eval);
+        drop(_p);
+        drop(_t);
+        for (b, n) in baseline.iter().zip(&nested) {
+            assert_eq!(b.points, n.points, "nesting/caching changed the payload");
+        }
+        let s = col.finish(0.01);
+        // 2 cells under an 8-worker pool → a requested split of 4, which
+        // 6 seeds fill as 3 chunks of 2; every realization is computed
+        // once and the other series' lookups all hit the shared cache.
+        assert!(
+            s.points.iter().all(|p| p.nested_jobs == 3),
+            "split not engaged: {:?}",
+            s.points.iter().map(|p| p.nested_jobs).collect::<Vec<_>>()
+        );
+        assert_eq!(s.cache_misses, scale.seeds as u64);
+        assert_eq!(s.cache_hits, scale.seeds as u64);
+        assert!(s.points.iter().all(|p| p.worker.is_some()));
     }
 }

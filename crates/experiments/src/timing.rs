@@ -34,14 +34,28 @@ pub struct PointTiming {
     /// its replications).
     pub wall_secs: f64,
     /// Worker slot that computed this point (an index into
-    /// `worker_busy_secs`). Together with `start_secs` this makes
-    /// stragglers visible: a point that starts early on one worker and
-    /// runs long while the other slots go idle is the sweep's critical
-    /// path.
-    pub worker: usize,
+    /// `worker_busy_secs`), or `None` when the cell ran outside any
+    /// worker — a pool-less sweep on the calling thread, say — instead
+    /// of mis-attributing it to slot 0. Together with `start_secs` this
+    /// makes stragglers visible: a point that starts early on one worker
+    /// and runs long while the other slots go idle is the sweep's
+    /// critical path.
+    pub worker: Option<usize>,
     /// When this point started computing, in seconds after the figure's
     /// collection began.
     pub start_secs: f64,
+    /// Nested seed-level fan-out the cell's replications used (1 = the
+    /// per-seed loop stayed serial inside the cell; 0 = the artifact was
+    /// written before nested parallelism existed, which also means
+    /// serial).
+    #[serde(default)]
+    pub nested_jobs: usize,
+    /// Realization-cache hits charged to this cell.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Realization-cache misses charged to this cell.
+    #[serde(default)]
+    pub cache_misses: u64,
 }
 
 /// Machine-readable timing summary for one figure run, written as
@@ -81,8 +95,52 @@ pub struct TimingSummary {
     /// the worker pool's wall-clock capacity spent computing. Low values
     /// mean workers idled (too few items, or a straggler point).
     pub utilization: f64,
+    /// Realization-cache hits across all cells (sum over `points`).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Realization-cache misses across all cells (sum over `points`).
+    #[serde(default)]
+    pub cache_misses: u64,
     /// Per-point costs, in deterministic (series-major) sweep order.
     pub points: Vec<PointTiming>,
+}
+
+/// Everything the sweep engine knows about one finished cell, handed to
+/// [`Collection::record`]. Grouping the fields beats a seven-argument
+/// positional call, and gives the nested/cache accounting an obvious
+/// place to ride along.
+#[derive(Clone, Debug)]
+pub struct CellCost<'a> {
+    /// Series label within the figure.
+    pub series: &'a str,
+    /// X coordinate of the sweep point.
+    pub x: f64,
+    /// Wall-clock seconds spent computing the cell.
+    pub wall_secs: f64,
+    /// Worker slot that ran the cell, `None` outside any worker.
+    pub worker: Option<usize>,
+    /// Nested seed fan-out the cell used (1 = serial inside the cell).
+    pub nested_jobs: usize,
+    /// Realization-cache hits charged to the cell.
+    pub cache_hits: u64,
+    /// Realization-cache misses charged to the cell.
+    pub cache_misses: u64,
+}
+
+impl<'a> CellCost<'a> {
+    /// A plain serial cell: no nested fan-out, no cache traffic. The
+    /// common case for analytic sweeps and tests.
+    pub fn serial(series: &'a str, x: f64, wall_secs: f64, worker: Option<usize>) -> Self {
+        CellCost {
+            series,
+            x,
+            wall_secs,
+            worker,
+            nested_jobs: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
 }
 
 struct Inner {
@@ -134,16 +192,30 @@ impl Collection {
         self.lock().total += n;
     }
 
-    /// Records one completed work item and emits a progress line.
-    /// `worker` is the slot that computed the point (from
+    /// Records one completed work item and emits a progress line. The
+    /// cost's `worker` is the slot that computed the point (from
     /// [`simkit::par::worker_slot`]). Returns quickly; safe to call from
     /// sweep worker threads.
+    ///
+    /// The progress line echoes the nested fan-out (`×N`) and the cell's
+    /// realization-cache traffic (`cache H/M`) whenever either is
+    /// non-trivial, so a straggler cell's configuration is diagnosable
+    /// from stderr alone.
     ///
     /// # Panics
     /// If more items are recorded than were declared via
     /// [`Collection::expect_items`] — an undeclared sweep phase is an
     /// accounting bug, not something to paper over in the progress line.
-    pub fn record(&self, item_index: usize, series: &str, x: f64, wall_secs: f64, worker: usize) {
+    pub fn record(&self, item_index: usize, cost: CellCost<'_>) {
+        let CellCost {
+            series,
+            x,
+            wall_secs,
+            worker,
+            nested_jobs,
+            cache_hits,
+            cache_misses,
+        } = cost;
         let (done, total, id, overflow) = {
             let mut a = self.lock();
             a.done += 1;
@@ -156,6 +228,9 @@ impl Collection {
                     wall_secs,
                     worker,
                     start_secs,
+                    nested_jobs,
+                    cache_hits,
+                    cache_misses,
                 },
             ));
             (a.done, a.total, a.id.clone(), a.done > a.total)
@@ -166,7 +241,14 @@ impl Collection {
             !overflow,
             "[{id}] recorded item {done} but only {total} were declared via expect_items"
         );
-        eprintln!("[{id}] {done:>3}/{total} {series:<14} x={x:<10.4} {wall_secs:>7.2}s");
+        let mut extras = String::new();
+        if nested_jobs > 1 {
+            extras.push_str(&format!(" ×{nested_jobs}"));
+        }
+        if cache_hits + cache_misses > 0 {
+            extras.push_str(&format!(" cache {cache_hits}/{cache_misses}"));
+        }
+        eprintln!("[{id}] {done:>3}/{total} {series:<14} x={x:<10.4} {wall_secs:>7.2}s{extras}");
     }
 
     /// Accumulates one sweep's per-worker busy time (from
@@ -216,6 +298,8 @@ impl Collection {
         points_indexed.sort_by_key(|&(i, _)| i);
         let points: Vec<PointTiming> = points_indexed.into_iter().map(|(_, p)| p).collect();
         let compute_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
+        let cache_hits: u64 = points.iter().map(|p| p.cache_hits).sum();
+        let cache_misses: u64 = points.iter().map(|p| p.cache_misses).sum();
         let spawned = inner.worker_busy_secs.len();
         let jobs_effective = if spawned > 0 {
             spawned
@@ -243,6 +327,8 @@ impl Collection {
             } else {
                 0.0
             },
+            cache_hits,
+            cache_misses,
             points,
         }
     }
@@ -294,9 +380,21 @@ mod tests {
     fn collection_lifecycle_records_sorts_and_summarizes() {
         let col = Collection::begin("figX", 4, 3);
         col.expect_items(2);
-        // Record out of order, as parallel workers would.
-        col.record(1, "swap", 0.5, 2.0, 1);
-        col.record(0, "nothing", 0.5, 1.0, 0);
+        // Record out of order, as parallel workers would. The swap cell
+        // nested its seeds and hit the realization cache.
+        col.record(
+            1,
+            CellCost {
+                series: "swap",
+                x: 0.5,
+                wall_secs: 2.0,
+                worker: Some(1),
+                nested_jobs: 3,
+                cache_hits: 4,
+                cache_misses: 2,
+            },
+        );
+        col.record(0, CellCost::serial("nothing", 0.5, 1.0, Some(0)));
         // Two back-to-back sweeps of different widths: slots accumulate
         // element-wise and the vector grows to the widest sweep.
         col.record_worker_busy(&[1.0, 2.0]);
@@ -311,9 +409,14 @@ mod tests {
         assert_eq!(s.points.len(), 2);
         // Deterministic sweep order restored; worker attribution kept.
         assert_eq!(s.points[0].series, "nothing");
-        assert_eq!(s.points[0].worker, 0);
+        assert_eq!(s.points[0].worker, Some(0));
+        assert_eq!(s.points[0].nested_jobs, 1);
         assert_eq!(s.points[1].series, "swap");
-        assert_eq!(s.points[1].worker, 1);
+        assert_eq!(s.points[1].worker, Some(1));
+        assert_eq!(s.points[1].nested_jobs, 3);
+        // Figure-level cache totals are the per-point sums.
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.cache_misses, 2);
         assert!(s.points.iter().all(|p| p.start_secs >= 0.0));
         assert!((s.compute_secs - 3.0).abs() < 1e-12);
         assert!((s.speedup - 2.0).abs() < 1e-12);
@@ -330,8 +433,8 @@ mod tests {
         // against the 2 spawned workers, not diluted by the phantom 6.
         let col = Collection::begin("narrow", 8, 1);
         col.expect_items(2);
-        col.record(0, "s", 0.0, 1.0, 0);
-        col.record(1, "s", 1.0, 1.0, 1);
+        col.record(0, CellCost::serial("s", 0.0, 1.0, Some(0)));
+        col.record(1, CellCost::serial("s", 1.0, 1.0, Some(1)));
         col.record_worker_busy(&[1.0, 1.0]);
         let s = col.finish(1.0);
         assert_eq!(s.jobs_requested, 8);
@@ -359,15 +462,15 @@ mod tests {
                 let _g = activate(&a);
                 let col = current().expect("active on this thread");
                 col.expect_items(1);
-                col.record(0, "sa", 0.0, 1.0, 0);
+                col.record(0, CellCost::serial("sa", 0.0, 1.0, Some(0)));
                 col.record_worker_busy(&[1.0]);
             });
             s.spawn(|| {
                 let _g = activate(&b);
                 let col = current().expect("active on this thread");
                 col.expect_items(2);
-                col.record(0, "sb", 0.0, 2.0, 0);
-                col.record(1, "sb", 1.0, 2.0, 0);
+                col.record(0, CellCost::serial("sb", 0.0, 2.0, Some(0)));
+                col.record(1, CellCost::serial("sb", 1.0, 2.0, Some(0)));
                 col.record_worker_busy(&[4.0]);
             });
         });
@@ -405,7 +508,35 @@ mod tests {
     fn recording_more_than_declared_panics() {
         let col = Collection::begin("over", 1, 1);
         col.expect_items(1);
-        col.record(0, "s", 0.0, 1.0, 0);
-        col.record(1, "s", 1.0, 1.0, 0);
+        col.record(0, CellCost::serial("s", 0.0, 1.0, Some(0)));
+        col.record(1, CellCost::serial("s", 1.0, 1.0, Some(0)));
+    }
+
+    #[test]
+    fn pre_nesting_artifacts_still_parse() {
+        // Artifacts written before the worker-Option / nested / cache
+        // fields existed must deserialize with the serial defaults —
+        // `Weights::from_dir` reads prior runs' timing files.
+        let old = r#"{"series":"swap","x":1.5,"wall_secs":2.0,"worker":3,"start_secs":0.1}"#;
+        let p: PointTiming = serde_json::from_str(old).unwrap();
+        assert_eq!(p.worker, Some(3));
+        assert_eq!(p.nested_jobs, 0);
+        assert_eq!((p.cache_hits, p.cache_misses), (0, 0));
+        // A cell recorded outside any worker round-trips as null.
+        let p = PointTiming {
+            series: "s".into(),
+            x: 0.0,
+            wall_secs: 1.0,
+            worker: None,
+            start_secs: 0.0,
+            nested_jobs: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"worker\":null"), "{json}");
+        let back: PointTiming = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.worker, None);
+        assert_eq!(back.nested_jobs, 2);
     }
 }

@@ -86,7 +86,10 @@ fn timing_json_schema_has_per_point_straggler_fields() {
     assert!(t.busy_secs > 0.0);
     assert!(t.utilization > 0.0 && t.utilization <= 1.0 + 1e-9);
     for p in &t.points {
-        assert!(p.worker < t.jobs_effective, "worker slot out of range");
+        assert!(
+            p.worker.is_some_and(|w| w < t.jobs_effective),
+            "worker slot out of range"
+        );
         assert!(p.start_secs >= 0.0);
         assert!(p.wall_secs >= 0.0);
         assert!(

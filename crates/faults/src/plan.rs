@@ -375,6 +375,14 @@ impl FaultPlan {
             .get(host)
             .map_or(&[][..], |h| h.blackouts.as_slice())
     }
+
+    /// Whether any host has at least one blackout window. When `false`,
+    /// splicing the plan into host timelines is a no-op — executors can
+    /// keep the realized platform as-is (copy-on-write) instead of
+    /// rebuilding value-identical hosts.
+    pub fn has_blackouts(&self) -> bool {
+        self.hosts.iter().any(|h| !h.blackouts.is_empty())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,194 @@
+//! A concurrent compute-once memo cache.
+//!
+//! The replication engine re-derives identical inputs many times over:
+//! every series of a tournament figure realizes the *same* platform and
+//! fault plan for the *same* seed, once per strategy. [`MemoCache`]
+//! memoizes such pure derivations so the first requester computes and
+//! everyone else clones the result.
+//!
+//! Properties the experiment engine relies on:
+//!
+//! * **Compute-once.** Each key's value is built by exactly one caller
+//!   ([`std::sync::OnceLock`] per entry); concurrent requesters of the
+//!   same key block until that one initialization finishes, instead of
+//!   racing to do the work twice.
+//! * **No cross-key serialization.** The map lock is held only to look
+//!   up or insert the entry cell, never while `make` runs, so distinct
+//!   keys compute in parallel.
+//! * **Determinism-neutral.** The cache only ever returns a clone of
+//!   what `make` produced for that exact key; whether a lookup hits or
+//!   misses can change with scheduling, but the returned value cannot.
+//!
+//! Hit/miss counters are plain atomics — instrumentation for timing
+//! artifacts and progress lines, not part of any figure payload.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A thread-safe memoization cache over a pure derivation `K -> V`.
+///
+/// ```
+/// use simkit::cache::MemoCache;
+/// let cache: MemoCache<u64, Vec<u64>> = MemoCache::new();
+/// let (a, hit) = cache.get_or_insert_with(&7, || vec![7, 49]);
+/// assert!(!hit);
+/// let (b, hit) = cache.get_or_insert_with(&7, || unreachable!("memoized"));
+/// assert!(hit);
+/// assert_eq!(a, b);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+pub struct MemoCache<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        MemoCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache::default()
+    }
+
+    /// Returns the memoized value for `key`, computing it with `make` on
+    /// first request, plus whether this lookup was a hit (the entry
+    /// already existed — possibly still initializing on another thread,
+    /// in which case this call blocks until that value is ready).
+    ///
+    /// `make` must be a pure function of `key` for the cache to be
+    /// transparent.
+    pub fn get_or_insert_with(&self, key: &K, make: impl FnOnce() -> V) -> (V, bool) {
+        let (cell, hit) = {
+            let mut map = self.map.lock().expect("memo cache map lock");
+            match map.get(key) {
+                Some(cell) => (Arc::clone(cell), true),
+                None => {
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(key.clone(), Arc::clone(&cell));
+                    (cell, false)
+                }
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        (cell.get_or_init(make).clone(), hit)
+    }
+
+    /// Number of lookups that found an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that created the entry (distinct keys seen).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo cache map lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_each_key_once_and_counts() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        let computed = AtomicUsize::new(0);
+        for round in 0..3 {
+            for k in 0..4u32 {
+                let (v, hit) = cache.get_or_insert_with(&k, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    k * 10
+                });
+                assert_eq!(v, k * 10);
+                assert_eq!(hit, round > 0, "round {round} key {k}");
+            }
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 4);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits(), 8);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn concurrent_requesters_share_one_computation() {
+        let cache: Arc<MemoCache<u8, u64>> = Arc::new(MemoCache::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let outs: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (cache, computed) = (Arc::clone(&cache), Arc::clone(&computed));
+                    s.spawn(move || {
+                        cache
+                            .get_or_insert_with(&1, || {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                                42
+                            })
+                            .0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(outs.iter().all(|&v| v == 42));
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "value built twice");
+        assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialize_on_each_other() {
+        // A slow initializer for key 0 must not block key 1's requester:
+        // if it did, this test would take >1 s instead of ~50 ms.
+        let cache: Arc<MemoCache<u8, u8>> = Arc::new(MemoCache::new());
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let c = Arc::clone(&cache);
+            s.spawn(move || {
+                c.get_or_insert_with(&0, || {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    0
+                })
+            });
+            // Give the slow initializer time to take the OnceLock.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let (v, hit) = cache.get_or_insert_with(&1, || 1);
+            assert_eq!((v, hit), (1, false));
+            assert!(
+                t0.elapsed() < std::time::Duration::from_millis(45),
+                "key 1 waited on key 0's initializer"
+            );
+        });
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let cache: MemoCache<u8, u8> = MemoCache::default();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

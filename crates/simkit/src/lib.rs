@@ -22,7 +22,10 @@
 //! * a persistent **worker pool** ([`pool::WorkerPool`]) serving one
 //!   priority-ordered work queue, so many sweeps — even from concurrent
 //!   figures — share a single set of workers with no per-sweep spawn
-//!   cost or barrier.
+//!   cost or barrier,
+//! * a concurrent **compute-once memo cache** ([`cache::MemoCache`])
+//!   so replicated experiments that re-derive identical pure inputs
+//!   (realized platforms, fault schedules) build each one exactly once.
 //!
 //! Everything is pure, single-threaded and deterministic: the same seed and
 //! parameters always produce bit-identical results, which is what makes the
@@ -31,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cpu;
 pub mod engine;
 pub mod event;

@@ -30,10 +30,20 @@
 //! function of `(index, item)` and every result lands in a pre-indexed
 //! slot, so the output vector is bit-identical to the serial run no
 //! matter how items interleave with other batches.
+//!
+//! Batches may also be submitted **from a pool worker itself** — the
+//! nested seed-level parallelism in the experiment engine fans a cell's
+//! replications out from inside a sweep item. A worker that submits a
+//! batch to its own pool does not just block on it (with every worker
+//! blocked on a nested batch nobody would be left to run one): it
+//! *helps*, claiming and running its own batch's unclaimed items until
+//! none remain, and only then waits for in-flight stragglers. Progress
+//! follows by induction on nesting depth — the deepest batch's items run
+//! directly and never submit further.
 
 use crate::par::{self, ParStats};
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -133,6 +143,11 @@ impl WorkerPool {
     /// `f` receives `(index, &item)` and must be a pure function of them
     /// for the determinism guarantee to hold.
     ///
+    /// May be called from one of this pool's own workers (a nested
+    /// batch): the calling worker then helps run its batch's items
+    /// instead of only blocking, so nested submissions cannot deadlock
+    /// the pool even when every worker nests at once.
+    ///
     /// # Panics
     /// Propagates the first panic raised by `f` (remaining unclaimed
     /// items of the batch are cancelled).
@@ -175,7 +190,7 @@ impl WorkerPool {
         };
 
         let done = Arc::new(BatchDone::default());
-        {
+        let seq = {
             let mut st = self.shared.state.lock().expect("pool state lock");
             assert!(!st.shutdown, "WorkerPool used after shutdown");
             let seq = st.next_seq;
@@ -190,6 +205,30 @@ impl WorkerPool {
                 done: Arc::clone(&done),
             });
             self.shared.work_cv.notify_all();
+            seq
+        };
+        // A pool worker submitting to its own pool helps drain its own
+        // batch before waiting: claim-run-finish exactly as the worker
+        // loop would, but restricted to this batch so the helper cannot
+        // wander off onto an unrelated long item while its own batch is
+        // done. Busy time lands in the helper's regular slot via `run`.
+        if WORKER_OF.with(Cell::get) == Arc::as_ptr(&self.shared) as usize {
+            loop {
+                let item = {
+                    let mut st = self.shared.state.lock().expect("pool state lock");
+                    match st.queue.iter_mut().find(|e| e.seq == seq && e.next < e.len) {
+                        Some(e) => {
+                            let item = e.next;
+                            e.next += 1;
+                            e.inflight += 1;
+                            item
+                        }
+                        None => break,
+                    }
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| run_ref(item)));
+                finish_item(&self.shared, seq, result);
+            }
         }
         {
             let mut st = self.shared.state.lock().expect("pool state lock");
@@ -243,8 +282,46 @@ fn best_open_batch(st: &State) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
-fn worker_loop(shared: &Shared, slot: usize) {
+/// Books one finished item back into its batch: decrements the in-flight
+/// count, captures a panic (cancelling the batch's unclaimed items), and
+/// — when this was the batch's last item — marks the batch finished,
+/// removes it from the queue and wakes its submitter. Shared between the
+/// worker loop and the submitter-helping path in
+/// [`WorkerPool::map_stats`].
+fn finish_item(shared: &Shared, seq: u64, result: Result<(), Box<dyn Any + Send>>) {
+    let mut st = shared.state.lock().expect("pool state lock");
+    let idx = st
+        .queue
+        .iter()
+        .position(|e| e.seq == seq)
+        .expect("batch entry stays queued while items are in flight");
+    let e = &mut st.queue[idx];
+    e.inflight -= 1;
+    if let Err(payload) = result {
+        let mut p = e.done.panic.lock().expect("panic slot lock");
+        if p.is_none() {
+            *p = Some(payload);
+        }
+        // Cancel the batch's unclaimed items; in-flight ones finish.
+        e.next = e.len;
+    }
+    if e.next >= e.len && e.inflight == 0 {
+        e.done.finished.store(true, Ordering::Release);
+        st.queue.remove(idx);
+        shared.done_cv.notify_all();
+    }
+}
+
+thread_local! {
+    /// Identity (shared-state address) of the pool this thread is a
+    /// worker of; `0` on non-worker threads. Lets [`WorkerPool::map_stats`]
+    /// recognize a nested submission to the caller's own pool.
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: usize) {
     let _slot = par::enter_worker_slot(slot);
+    WORKER_OF.with(|c| c.set(Arc::as_ptr(shared) as usize));
     loop {
         let (seq, run, item) = {
             let mut st = shared.state.lock().expect("pool state lock");
@@ -264,28 +341,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
         };
 
         let result = catch_unwind(AssertUnwindSafe(|| run(item)));
-
-        let mut st = shared.state.lock().expect("pool state lock");
-        let idx = st
-            .queue
-            .iter()
-            .position(|e| e.seq == seq)
-            .expect("batch entry stays queued while items are in flight");
-        let e = &mut st.queue[idx];
-        e.inflight -= 1;
-        if let Err(payload) = result {
-            let mut p = e.done.panic.lock().expect("panic slot lock");
-            if p.is_none() {
-                *p = Some(payload);
-            }
-            // Cancel the batch's unclaimed items; in-flight ones finish.
-            e.next = e.len;
-        }
-        if e.next >= e.len && e.inflight == 0 {
-            e.done.finished.store(true, Ordering::Release);
-            st.queue.remove(idx);
-            shared.done_cv.notify_all();
-        }
+        finish_item(shared, seq, result);
     }
 }
 
@@ -470,6 +526,61 @@ mod tests {
         });
         assert_eq!(out, vec![20, 40, 60]);
         assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_submission_from_a_worker_completes_by_helping() {
+        // Every worker is busy with a top-level item, and every top-level
+        // item submits a nested batch to the same pool. Without the
+        // submitter-helping path this deadlocks (no worker left to serve
+        // the nested batches); with it, each submitter drains its own.
+        let pool = Arc::new(WorkerPool::new(2));
+        let tops: Vec<usize> = (0..2).collect();
+        let inner = Arc::clone(&pool);
+        let (out, stats) = pool.map_stats(0, &tops, |_, &t| {
+            let items: Vec<usize> = (0..8).collect();
+            let (nested, nstats) = inner.map_stats(0, &items, |i, _| i + 100 * t);
+            assert_eq!(nstats.worker_busy_secs.len(), 2);
+            nested.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..2)
+            .map(|t| (0..8).sum::<usize>() + 8 * 100 * t)
+            .collect();
+        assert_eq!(out, expect);
+        assert_eq!(stats.worker_busy_secs.len(), 2);
+    }
+
+    #[test]
+    fn single_worker_pool_survives_deep_nesting() {
+        // One worker: the top-level item's nested submission can only
+        // make progress through helping, twice over.
+        let pool = Arc::new(WorkerPool::new(1));
+        let l1 = Arc::clone(&pool);
+        let (out, _) = pool.map_stats(0, &[3u64], |_, &x| {
+            let l2 = Arc::clone(&l1);
+            let (mid, _) = l1.map_stats(0, &[x, x + 1], |_, &y| {
+                let (leaf, _) = l2.map_stats(0, &[y, y * 2], |_, &z| z + 1);
+                leaf.iter().sum::<u64>()
+            });
+            mid.iter().sum::<u64>()
+        });
+        // y=3: (4 + 7) = 11; y=4: (5 + 9) = 14 → 25.
+        assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested boom")]
+    fn nested_panic_propagates_through_both_batches() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let inner = Arc::clone(&pool);
+        let _ = pool.map_stats(0, &[0u8], |_, _| {
+            let items: Vec<usize> = (0..4).collect();
+            let _ = inner.map_stats(0, &items, |i, _| {
+                if i == 2 {
+                    panic!("nested boom");
+                }
+            });
+        });
     }
 
     #[test]

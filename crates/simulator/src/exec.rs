@@ -85,7 +85,12 @@ impl RunResult {
 }
 
 /// Outcome of one iteration's compute+communicate phases.
-#[derive(Clone, Debug)]
+///
+/// The `Default` value is an empty scratch outcome for the `*_into`
+/// entry points: hoist one outside a strategy's iteration loop and the
+/// per-iteration `measured_rates`/`completions` vectors are recycled
+/// instead of reallocated.
+#[derive(Clone, Debug, Default)]
 pub struct IterationOutcome {
     /// End of the compute phase.
     pub compute_end: f64,
@@ -117,46 +122,57 @@ pub fn run_iteration(
     work: &[f64],
     t0: f64,
 ) -> IterationOutcome {
+    let mut out = IterationOutcome::default();
+    run_iteration_into(platform, app, active, work, t0, &mut out);
+    out
+}
+
+/// [`run_iteration`] writing into a caller-owned scratch outcome, so a
+/// strategy's iteration loop reuses the two per-process vectors instead
+/// of allocating fresh ones every iteration. Identical arithmetic and
+/// contract; `out`'s previous contents are fully overwritten.
+pub fn run_iteration_into(
+    platform: &Platform,
+    app: &AppSpec,
+    active: &[usize],
+    work: &[f64],
+    t0: f64,
+    out: &mut IterationOutcome,
+) {
     assert_eq!(active.len(), work.len(), "active/work length mismatch");
     assert!(!active.is_empty(), "iteration needs at least one process");
 
     let mut compute_end = t0;
-    let mut completions = Vec::with_capacity(active.len());
+    out.completions.clear();
+    out.completions.reserve(active.len());
     for (&host, &w) in active.iter().zip(work) {
         let done = platform.hosts[host].cpu.completion_time(t0, w);
         assert!(
             done.is_finite(),
             "host {host} can never finish {w} flops from t={t0}"
         );
-        completions.push(done);
+        out.completions.push(done);
         compute_end = compute_end.max(done);
     }
 
     // Measured compute rate: work / busy time. A zero-work process (DLB
     // can assign arbitrarily small chunks) reports its host's mean
     // delivered speed over the phase instead.
-    let measured_rates = active
-        .iter()
-        .zip(work)
-        .zip(&completions)
-        .map(|((&host, &w), &done)| {
-            if done > t0 && w > 0.0 {
-                w / (done - t0)
-            } else {
-                platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
-            }
-        })
-        .collect();
+    out.measured_rates.clear();
+    out.measured_rates.reserve(active.len());
+    for ((&host, &w), done) in active.iter().zip(work).zip(&out.completions) {
+        out.measured_rates.push(if *done > t0 && w > 0.0 {
+            w / (*done - t0)
+        } else {
+            platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
+        });
+    }
 
     let comm = platform
         .link
         .bulk_transfer_time(active.len(), app.bytes_per_proc_iter);
-    IterationOutcome {
-        compute_end,
-        end: compute_end + comm,
-        measured_rates,
-        completions,
-    }
+    out.compute_end = compute_end;
+    out.end = compute_end + comm;
 }
 
 /// Mean delivered speed of `host` over `[t0, t1]` — the probe measurement
@@ -167,7 +183,10 @@ pub fn probe_host(platform: &Platform, host: usize, t0: f64, t1: f64) -> f64 {
 
 /// One iteration attempted under a fault plan: either it completed, or
 /// one or more active hosts crashed before the collective.
-#[derive(Clone, Debug)]
+///
+/// Like [`IterationOutcome`], the `Default` value is a scratch for
+/// [`run_iteration_faults_into`].
+#[derive(Clone, Debug, Default)]
 pub struct FaultedIteration {
     /// The iteration as it would have unfolded with no crash. Only
     /// meaningful when `failed` is empty — strategies must discard it
@@ -202,33 +221,49 @@ pub fn run_iteration_faults(
     t0: f64,
     plan: &faults::FaultPlan,
 ) -> FaultedIteration {
+    let mut fi = FaultedIteration::default();
+    run_iteration_faults_into(platform, app, active, work, t0, plan, &mut fi);
+    fi
+}
+
+/// [`run_iteration_faults`] writing into a caller-owned scratch, reusing
+/// its vectors across iterations. Identical arithmetic and contract;
+/// `fi`'s previous contents are fully overwritten.
+pub fn run_iteration_faults_into(
+    platform: &Platform,
+    app: &AppSpec,
+    active: &[usize],
+    work: &[f64],
+    t0: f64,
+    plan: &faults::FaultPlan,
+    fi: &mut FaultedIteration,
+) {
     assert_eq!(active.len(), work.len(), "active/work length mismatch");
     assert!(!active.is_empty(), "iteration needs at least one process");
 
+    let out = &mut fi.outcome;
     let mut compute_end = t0;
-    let mut completions = Vec::with_capacity(active.len());
+    out.completions.clear();
+    out.completions.reserve(active.len());
     for (&host, &w) in active.iter().zip(work) {
         let done = platform.hosts[host].cpu.completion_time(t0, w);
         assert!(
             done.is_finite(),
             "host {host} can never finish {w} flops from t={t0}"
         );
-        completions.push(done);
+        out.completions.push(done);
         compute_end = compute_end.max(done);
     }
 
-    let measured_rates: Vec<f64> = active
-        .iter()
-        .zip(work)
-        .zip(&completions)
-        .map(|((&host, &w), &done)| {
-            if done > t0 && w > 0.0 {
-                w / (done - t0)
-            } else {
-                platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
-            }
-        })
-        .collect();
+    out.measured_rates.clear();
+    out.measured_rates.reserve(active.len());
+    for ((&host, &w), done) in active.iter().zip(work).zip(&out.completions) {
+        out.measured_rates.push(if *done > t0 && w > 0.0 {
+            w / (*done - t0)
+        } else {
+            platform.hosts[host].mean_delivered(t0, compute_end.max(t0 + 1.0))
+        });
+    }
 
     // Communication at the (possibly degraded) bandwidth in force when
     // the barrier is reached. The unscaled link is used verbatim when no
@@ -242,40 +277,35 @@ pub fn run_iteration_faults(
     };
     let comm = link.bulk_transfer_time(active.len(), app.bytes_per_proc_iter);
     let end = compute_end + comm;
+    out.compute_end = compute_end;
+    out.end = end;
 
     // A host fails the iteration if its crash lands before the iteration
     // would have completed (compute or communication phase alike: the
     // collective cannot complete without it).
-    let failed: Vec<usize> = active
-        .iter()
-        .copied()
-        .filter(|&h| plan.crash_time(h).is_some_and(|c| c <= end))
-        .collect();
-    let detected = if failed.is_empty() {
+    fi.failed.clear();
+    fi.failed.extend(
+        active
+            .iter()
+            .copied()
+            .filter(|&h| plan.crash_time(h).is_some_and(|c| c <= end)),
+    );
+    fi.detected = if fi.failed.is_empty() {
         end
     } else {
         let survivors = active
             .iter()
-            .zip(&completions)
-            .filter(|(h, _)| !failed.contains(h))
+            .zip(&fi.outcome.completions)
+            .filter(|(h, _)| !fi.failed.contains(h))
             .map(|(_, &done)| done)
             .fold(t0, f64::max);
-        let last_crash = failed
+        let last_crash = fi
+            .failed
             .iter()
             .filter_map(|&h| plan.crash_time(h))
             .fold(t0, f64::max);
         survivors.max(last_crash)
     };
-    FaultedIteration {
-        outcome: IterationOutcome {
-            compute_end,
-            end,
-            measured_rates,
-            completions,
-        },
-        failed,
-        detected,
-    }
 }
 
 /// Alternative communication model: **eager overlap**. Each process

@@ -5,12 +5,34 @@
 //! using real systems". The runner replays the *same* realized platform
 //! (same seed → same load traces) under every strategy, then aggregates
 //! across independent seeds.
+//!
+//! Two hot-path optimizations live here, both output-transparent:
+//!
+//! * **Nested seed-level parallelism.** When the caller has entered a
+//!   cell scope ([`enter_cell`]) with a split greater than one — the
+//!   sweep engine does this for grids narrower than the worker pool —
+//!   the per-seed loop fans out through
+//!   [`simkit::pool::map_stats_installed`] as bounded sub-tasks instead
+//!   of running serially inside the cell. Each replication is a pure
+//!   function of its seed and results are reassembled in seed order, so
+//!   outputs stay bit-identical; only wall-clock changes.
+//! * **A shared [`RealizationCache`].** Tournament figures run several
+//!   strategies over the *same* `(spec, faults, seed)` inputs;
+//!   realizing the platform and generating the fault plan once per
+//!   strategy is pure waste. A cache handed in through the cell scope
+//!   memoizes the realized inputs (keyed by full canonical spec/fault
+//!   JSON plus seed — no fingerprint collisions), and blackout
+//!   splicing is copy-on-write so plans without blackout windows reuse
+//!   the cached platform untouched.
 
 use crate::app::AppSpec;
 use crate::exec::RunResult;
-use crate::platform::PlatformSpec;
+use crate::platform::{Platform, PlatformSpec};
 use crate::strategies::{RunContext, Strategy};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Aggregate statistics over replications.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -93,6 +115,168 @@ pub struct ReplicatedResult {
     /// machine and of `jobs`.
     #[serde(skip)]
     pub seed_wall_secs: Vec<f64>,
+}
+
+/// One fully realized replication input: the (possibly
+/// blackout-spliced) platform and the fault plan it came from. Pure
+/// data derived from `(spec, faults, seed)` alone, which is what makes
+/// it safe to share across strategies.
+#[derive(Clone)]
+struct Realized {
+    platform: Arc<Platform>,
+    plan: Option<Arc<faults::FaultPlan>>,
+}
+
+/// Realizes the inputs for one replication: platform from the seed,
+/// fault plan from the spec pair, blackouts spliced copy-on-write — a
+/// plan without blackout windows leaves the realized platform untouched
+/// instead of rebuilding value-identical hosts.
+fn realize_one(spec: &PlatformSpec, faults: Option<&faults::FaultSpec>, seed: u64) -> Realized {
+    let platform = spec.realize(seed);
+    let plan =
+        faults.map(|f| faults::FaultPlan::generate(f, platform.hosts.len(), spec.horizon, seed));
+    let platform = match &plan {
+        Some(plan) if plan.has_blackouts() => platform.apply_blackouts(plan),
+        _ => platform,
+    };
+    Realized {
+        platform: Arc::new(platform),
+        plan: plan.map(Arc::new),
+    }
+}
+
+/// Memoizes realized replication inputs across the runs that share one
+/// scope (typically: every series of one figure's sweep). Keyed by
+/// `(spec JSON, fault JSON, seed)` — the *full* canonical serialization,
+/// not a hash, so distinct specs can never collide into one entry. The
+/// cache is handed to the runner through [`enter_cell`]; runs outside
+/// any cell scope realize fresh, exactly as before.
+#[derive(Default)]
+pub struct RealizationCache {
+    inner: simkit::cache::MemoCache<(String, String, u64), Realized>,
+}
+
+impl RealizationCache {
+    /// An empty cache, ready to share across the cells of one sweep.
+    pub fn new() -> Self {
+        RealizationCache::default()
+    }
+
+    /// Lookups that found an already-realized entry.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Lookups that realized the entry (distinct inputs seen).
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Number of distinct `(spec, faults, seed)` inputs cached.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing has been realized through this cache yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Shared accumulator behind a cell scope; worker threads running the
+/// cell's nested sub-tasks update it through the `Arc` captured at
+/// [`run_replicated`] entry (thread-locals don't cross pool threads).
+struct CellAccum {
+    nested_jobs: usize,
+    cache: Option<Arc<RealizationCache>>,
+    /// Widest nested fan-out any inner run actually used (1 = serial).
+    nested_jobs_used: AtomicUsize,
+    /// Busy seconds of nested sub-task workers, by pool worker slot,
+    /// with the submitting worker's slot zeroed (its time is already
+    /// inside the enclosing sweep item's busy window).
+    worker_busy_secs: Mutex<Vec<f64>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+thread_local! {
+    static CELL: RefCell<Vec<Arc<CellAccum>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost cell scope on this thread, if any.
+fn current_cell() -> Option<Arc<CellAccum>> {
+    CELL.with(|s| s.borrow().last().cloned())
+}
+
+/// What one cell's replicated runs cost beyond their wall-clock: the
+/// nested fan-out used, nested worker busy time, and realization-cache
+/// traffic. Snapshot via [`CellGuard::report`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellReport {
+    /// Widest nested seed fan-out used by any run in the scope
+    /// (1 = every run stayed serial inside the cell).
+    pub nested_jobs: usize,
+    /// Nested sub-task busy seconds by worker slot (submitting worker's
+    /// slot zeroed — see [`enter_cell`]); empty when nothing nested.
+    pub worker_busy_secs: Vec<f64>,
+    /// Realization-cache hits charged to this scope.
+    pub cache_hits: u64,
+    /// Realization-cache misses charged to this scope.
+    pub cache_misses: u64,
+}
+
+/// Guard returned by [`enter_cell`]; leaves the scope when dropped.
+pub struct CellGuard {
+    accum: Arc<CellAccum>,
+}
+
+impl CellGuard {
+    /// Snapshot of the accounting accumulated so far in this scope.
+    pub fn report(&self) -> CellReport {
+        CellReport {
+            nested_jobs: self.accum.nested_jobs_used.load(Ordering::Relaxed),
+            worker_busy_secs: self
+                .accum
+                .worker_busy_secs
+                .lock()
+                .expect("cell busy lock")
+                .clone(),
+            cache_hits: self.accum.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.accum.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for CellGuard {
+    fn drop(&mut self) {
+        CELL.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Opens a cell scope on the current thread until the guard drops:
+/// every [`run_replicated`]-family call made underneath it fans its
+/// per-seed loop out as up to `nested_jobs` sub-tasks (through the
+/// installed worker pool when there is one) and realizes its inputs
+/// through `cache` when one is given. Scopes nest; the innermost wins.
+///
+/// `nested_jobs <= 1` disables the fan-out but still applies the cache
+/// — useful on its own for tournament figures whose strategies share
+/// inputs. Either way the results are **bit-identical** to the unscoped
+/// run; the guard's [`CellGuard::report`] only changes the accounting
+/// side channel.
+pub fn enter_cell(nested_jobs: usize, cache: Option<Arc<RealizationCache>>) -> CellGuard {
+    let accum = Arc::new(CellAccum {
+        nested_jobs: nested_jobs.max(1),
+        cache,
+        nested_jobs_used: AtomicUsize::new(1),
+        worker_busy_secs: Mutex::new(Vec::new()),
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
+    });
+    CELL.with(|s| s.borrow_mut().push(Arc::clone(&accum)));
+    CellGuard { accum }
 }
 
 /// Runs `strategy` on `seeds.len()` independent realizations of
@@ -320,37 +504,101 @@ fn run_replicated_inner(
 ) -> (ReplicatedResult, Option<Vec<obs::Trace>>) {
     assert!(!seeds.is_empty(), "need at least one seed");
     let faults = faults.filter(|f| f.is_enabled());
-    let timed_runs: Vec<(RunResult, f64, Option<obs::Trace>)> =
-        simkit::par::par_map(seeds, jobs, |_, &seed| {
-            let t0 = std::time::Instant::now();
-            let mut platform = spec.realize(seed);
-            let plan = faults
-                .map(|f| faults::FaultPlan::generate(f, platform.hosts.len(), spec.horizon, seed));
-            if let Some(plan) = &plan {
-                platform = platform.apply_blackouts(plan);
-            }
-            let mut ctx = RunContext::new(&platform, app, allocated);
-            if let Some(plan) = &plan {
-                ctx = ctx.with_faults(plan);
-            }
-            if let Some(ps) = policies {
-                ctx = ctx.with_policies(ps);
-            }
-            let collector = trace.then(obs::Collector::new);
-            if let Some(c) = &collector {
-                ctx = ctx.with_trace(c);
-            }
-            let run = strategy.run(&ctx);
-            let trace = collector.map(|c| {
-                let mut t = c.into_trace();
-                append_load_changes(&mut t, &platform, run.execution_time);
-                if let Some(plan) = &plan {
-                    append_fault_events(&mut t, plan, run.execution_time);
+    let cell = current_cell();
+    let cache = cell.as_ref().and_then(|c| c.cache.clone());
+    // Cache keys are serialized once per call, not once per seed; the
+    // full JSON (not a hash) is the collision-proof fingerprint.
+    let key_prefix = cache.as_ref().map(|_| {
+        (
+            serde_json::to_string(spec).expect("platform specs serialize"),
+            faults.map_or_else(String::new, |f| {
+                serde_json::to_string(f).expect("fault specs serialize")
+            }),
+        )
+    });
+    let run_one = |seed: u64| -> (RunResult, f64, Option<obs::Trace>) {
+        let t0 = std::time::Instant::now();
+        let realized = match (&cache, &key_prefix) {
+            (Some(cache), Some((spec_json, fault_json))) => {
+                let (realized, hit) = cache
+                    .inner
+                    .get_or_insert_with(&(spec_json.clone(), fault_json.clone(), seed), || {
+                        realize_one(spec, faults, seed)
+                    });
+                if let Some(cell) = &cell {
+                    let counter = if hit {
+                        &cell.cache_hits
+                    } else {
+                        &cell.cache_misses
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
                 }
-                t
-            });
-            (run, t0.elapsed().as_secs_f64(), trace)
+                realized
+            }
+            _ => realize_one(spec, faults, seed),
+        };
+        let mut ctx = RunContext::new(&realized.platform, app, allocated);
+        if let Some(plan) = realized.plan.as_deref() {
+            ctx = ctx.with_faults(plan);
+        }
+        if let Some(ps) = policies {
+            ctx = ctx.with_policies(ps);
+        }
+        let collector = trace.then(obs::Collector::new);
+        if let Some(c) = &collector {
+            ctx = ctx.with_trace(c);
+        }
+        let run = strategy.run(&ctx);
+        let trace = collector.map(|c| {
+            let mut t = c.into_trace();
+            append_load_changes(&mut t, &realized.platform, run.execution_time);
+            if let Some(plan) = realized.plan.as_deref() {
+                append_fault_events(&mut t, plan, run.execution_time);
+            }
+            t
         });
+        (run, t0.elapsed().as_secs_f64(), trace)
+    };
+    let nested = cell
+        .as_ref()
+        .map_or(1, |c| c.nested_jobs)
+        .min(seeds.len())
+        .max(1);
+    let timed_runs: Vec<(RunResult, f64, Option<obs::Trace>)> = if nested > 1 {
+        // Fan the seeds out as `nested` contiguous chunks through the
+        // installed pool (bounded sub-tasks at the figure's priority;
+        // the pool's submitter-helping keeps this deadlock-free from a
+        // worker thread). Chunks reassemble in seed order, so the
+        // result is bit-identical to the serial loop.
+        let chunk_len = seeds.len().div_ceil(nested);
+        let chunks: Vec<&[u64]> = seeds.chunks(chunk_len).collect();
+        let (chunked, stats) = simkit::pool::map_stats_installed(&chunks, nested, |_, chunk| {
+            chunk.iter().map(|&s| run_one(s)).collect::<Vec<_>>()
+        });
+        if let Some(cell) = &cell {
+            cell.nested_jobs_used
+                .fetch_max(chunks.len(), Ordering::Relaxed);
+            // The submitting worker helped run sub-tasks, but that time
+            // is already inside the enclosing sweep item's busy window
+            // — zero its slot so figure-level busy counts it once.
+            let mut busy = stats.worker_busy_secs;
+            if let Some(slot) = simkit::par::worker_slot() {
+                if let Some(b) = busy.get_mut(slot) {
+                    *b = 0.0;
+                }
+            }
+            let mut acc = cell.worker_busy_secs.lock().expect("cell busy lock");
+            if acc.len() < busy.len() {
+                acc.resize(busy.len(), 0.0);
+            }
+            for (slot, &b) in busy.iter().enumerate() {
+                acc[slot] += b;
+            }
+        }
+        chunked.into_iter().flatten().collect()
+    } else {
+        simkit::par::par_map(seeds, jobs, |_, &seed| run_one(seed))
+    };
     let mut runs = Vec::with_capacity(timed_runs.len());
     let mut seed_wall_secs = Vec::with_capacity(timed_runs.len());
     let mut traces = trace.then(Vec::new);
@@ -704,6 +952,89 @@ mod tests {
             decisions >= recoveries,
             "decisions {decisions} < recoveries {recoveries}"
         );
+    }
+
+    #[test]
+    fn cell_scope_with_cache_and_nesting_is_bit_identical() {
+        use crate::strategies::{Cr, Swap};
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let mut app = tiny_app();
+        app.iterations = 20;
+        let fs = faults::FaultSpec {
+            blackout_mtbf_secs: 400.0,
+            blackout_repair_secs: 40.0,
+            ..faults::FaultSpec::crashes_only(1_500.0, 11)
+        };
+        let seeds = default_seeds(6);
+        let strategies: [&dyn Strategy; 2] = [&Swap::greedy(), &Cr::greedy()];
+        // Baseline: no scope, no cache — the pre-existing path.
+        let baselines: Vec<_> = strategies
+            .iter()
+            .map(|s| run_replicated_faults_traced(&spec, &app, *s, 4, &seeds, 1, &fs))
+            .collect();
+        // Scoped: shared cache (warm after the first strategy) plus a
+        // nested fan-out wider than the seed count.
+        let cache = Arc::new(RealizationCache::new());
+        let cell = enter_cell(4, Some(Arc::clone(&cache)));
+        for (s, (base_r, base_t)) in strategies.iter().zip(&baselines) {
+            let (r, t) = run_replicated_faults_traced(&spec, &app, *s, 4, &seeds, 1, &fs);
+            assert_eq!(&t, base_t, "{} trace differs under cell scope", s.name());
+            for (a, b) in r.runs.iter().zip(&base_r.runs) {
+                assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+            }
+        }
+        let report = cell.report();
+        // 6 seeds realized once (misses), then reused by the second
+        // strategy (hits).
+        assert_eq!(report.cache_misses, 6);
+        assert_eq!(report.cache_hits, 6);
+        assert_eq!(cache.len(), 6);
+        assert!(report.nested_jobs > 1, "nested fan-out never engaged");
+        assert!(
+            report.worker_busy_secs.iter().sum::<f64>() > 0.0,
+            "nested busy time unrecorded"
+        );
+    }
+
+    #[test]
+    fn cache_without_nesting_matches_and_counts_intra_call_reuse() {
+        use crate::strategies::Swap;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.4, 0.1, 20.0)));
+        let app = tiny_app();
+        let seeds = [1u64, 2, 1, 2, 3];
+        let plain = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        let cache = Arc::new(RealizationCache::new());
+        let cell = enter_cell(1, Some(Arc::clone(&cache)));
+        let cached = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        for (a, b) in cached.runs.iter().zip(&plain.runs) {
+            assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+        }
+        let report = cell.report();
+        // Repeated seeds hit within a single replicated call too.
+        assert_eq!(report.cache_misses, 3);
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(report.nested_jobs, 1, "nesting must stay off");
+        assert!(report.worker_busy_secs.is_empty());
+    }
+
+    #[test]
+    fn nested_fan_out_through_an_installed_pool_is_bit_identical() {
+        use crate::strategies::Swap;
+        let spec = tiny_spec(LoadSpec::OnOff(OnOffSource::for_duty_cycle(0.5, 0.2, 20.0)));
+        let app = tiny_app();
+        let seeds = default_seeds(9);
+        let serial = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        let pool = Arc::new(simkit::pool::WorkerPool::new(3));
+        let _pg = simkit::pool::install(&pool, 0);
+        let cell = enter_cell(3, None);
+        let nested = run_replicated_jobs(&spec, &app, &Swap::greedy(), 4, &seeds, 1);
+        assert_eq!(nested.execution_time, serial.execution_time);
+        for (a, b) in nested.runs.iter().zip(&serial.runs) {
+            assert_eq!(a.execution_time.to_bits(), b.execution_time.to_bits());
+        }
+        let report = cell.report();
+        assert_eq!(report.nested_jobs, 3);
+        assert_eq!((report.cache_hits, report.cache_misses), (0, 0));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! `α + state/β` while the process state crosses the shared link.
 
 use super::{choose_spare, RunContext, Strategy};
-use crate::exec::{probe_host, run_iteration, run_iteration_faults, IterationRecord, RunResult};
+use crate::exec::{
+    probe_host, run_iteration_faults_into, run_iteration_into, FaultedIteration, IterationOutcome,
+    IterationRecord, RunResult,
+};
 use crate::schedule::{equal_partition, fastest_hosts};
 use std::collections::HashMap;
 use swap_core::{DecisionEngine, PerfHistory, PolicyParams, ProcessorSnapshot, SwapCost};
@@ -108,9 +111,14 @@ impl Swap {
         let (mut failures, mut recoveries) = (0usize, 0usize);
         let mut truncated = false;
 
+        // Scratch reused across iterations (allocation trim — the
+        // replication hot path runs thousands of these loops).
+        let mut fi = FaultedIteration::default();
+        let mut snapshots: Vec<ProcessorSnapshot> = Vec::with_capacity(pool.len());
+
         let mut index = 0;
         while index < app.iterations {
-            let fi = run_iteration_faults(ctx.platform, app, &active, &work, t, plan);
+            run_iteration_faults_into(ctx.platform, app, &active, &work, t, plan, &mut fi);
             if !fi.failed.is_empty() {
                 failures += fi.failed.len();
                 let detected = fi.detected;
@@ -169,8 +177,8 @@ impl Swap {
                 continue; // re-run the same iteration index
             }
 
-            let out = fi.outcome;
-            ctx.emit_iteration(index, &active, t, &out);
+            let out = &fi.outcome;
+            ctx.emit_iteration(index, &active, t, out);
             // Spares that died quietly are discovered by their failed
             // probes at the iteration boundary.
             pool.retain(|&h| !plan.is_crashed(h, out.end));
@@ -198,16 +206,16 @@ impl Swap {
             let mut adapt_time = 0.0;
             if index + 1 < app.iterations {
                 let iter_time = out.end - t;
-                let snapshots: Vec<ProcessorSnapshot> = pool
-                    .iter()
-                    .map(|&h| ProcessorSnapshot {
+                snapshots.clear();
+                snapshots.extend(pool.iter().map(|&h| {
+                    ProcessorSnapshot {
                         id: h,
                         active: active.contains(&h),
                         predicted_perf: histories[&h]
                             .predict(self.policy.predictor, self.policy.history, out.end)
                             .expect("history has at least one sample"),
-                    })
-                    .collect();
+                    }
+                }));
                 let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
                 ctx.emit(|| obs::TraceEvent::SwapDecision {
                     t: out.end,
@@ -299,9 +307,15 @@ impl Strategy for Swap {
         let mut swaps = 0usize;
         let mut adapt_total = 0.0;
 
+        // Scratch reused across iterations (allocation trim — the
+        // replication hot path runs thousands of these loops).
+        let mut scratch = IterationOutcome::default();
+        let mut snapshots: Vec<ProcessorSnapshot> = Vec::with_capacity(pool.len());
+
         for index in 0..app.iterations {
-            let out = run_iteration(ctx.platform, app, &active, &work, t);
-            ctx.emit_iteration(index, &active, t, &out);
+            run_iteration_into(ctx.platform, app, &active, &work, t, &mut scratch);
+            let out = &scratch;
+            ctx.emit_iteration(index, &active, t, out);
 
             // Measurement: active processes report achieved compute rate;
             // spares are probed over the same window.
@@ -331,16 +345,16 @@ impl Strategy for Swap {
             let mut adapt_time = 0.0;
             if index + 1 < app.iterations {
                 let iter_time = out.end - t;
-                let snapshots: Vec<ProcessorSnapshot> = pool
-                    .iter()
-                    .map(|&h| ProcessorSnapshot {
+                snapshots.clear();
+                snapshots.extend(pool.iter().map(|&h| {
+                    ProcessorSnapshot {
                         id: h,
                         active: active.contains(&h),
                         predicted_perf: histories[&h]
                             .predict(self.policy.predictor, self.policy.history, out.end)
                             .expect("history has at least one sample"),
-                    })
-                    .collect();
+                    }
+                }));
                 let decision = engine.decide(&snapshots, iter_time, app.process_state_bytes);
                 ctx.emit(|| obs::TraceEvent::SwapDecision {
                     t: out.end,
